@@ -1,0 +1,81 @@
+"""Figures 1 & 3: the AMR velocity-space meshes.
+
+Fig. 3: "Maxwellian with 20 cells and domain size 5 v_th" — our mesh
+generator reproduces exactly 20 cells / 193 free vertices.  Fig. 1 is the
+electron-deuterium shared grid (refined to the deuterium thermal scale near
+the origin).
+"""
+
+import numpy as np
+
+from repro.amr import landau_mesh
+from repro.core import deuterium, electron
+from repro.fem import FunctionSpace
+from repro.report import format_table
+
+VE = electron().thermal_velocity
+
+
+def _mesh_stats(vths, order=3):
+    mesh = landau_mesh(vths)
+    fs = FunctionSpace(mesh, order=order)
+    levels = sorted(set(np.round(np.log2(mesh.size[:, 0].max() / mesh.size[:, 0])).astype(int)))
+    return {
+        "cells": mesh.nelem,
+        "free_vertices": fs.ndofs,
+        "constrained": fs.dofmap.n_constrained,
+        "ips": fs.n_integration_points,
+        "min_cell": float(mesh.size.min()),
+        "max_cell": float(mesh.size.max()),
+        "levels": len(levels),
+    }
+
+
+def test_fig3_single_species_mesh(benchmark):
+    stats = benchmark.pedantic(
+        _mesh_stats, args=([VE],), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            list(stats.keys()),
+            [list(stats.values())],
+            title="Fig. 3 mesh — single-species Maxwellian, domain 5 v_th "
+            "(paper: 20 cells, 193 vertices, 16 IPs/cell)",
+        )
+    )
+    assert stats["cells"] == 20
+    assert stats["free_vertices"] == 193
+    assert stats["ips"] == 320
+
+
+def test_fig1_electron_deuterium_mesh(benchmark):
+    vths = [VE, deuterium().thermal_velocity]
+    stats = benchmark.pedantic(_mesh_stats, args=(vths,), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            list(stats.keys()),
+            [list(stats.values())],
+            title="Fig. 1 mesh — electron-deuterium shared grid",
+        )
+    )
+    # deuterium refinement: min cell resolves v_th,D; several levels deep
+    assert stats["min_cell"] <= 1.3 * deuterium().thermal_velocity
+    assert stats["levels"] >= 5
+    assert stats["constrained"] > 0  # non-conforming
+
+
+def test_mesh_ascii_rendering():
+    """Visual check artifact: cell-size histogram along the z = 0+ strip."""
+    mesh = landau_mesh([VE, deuterium().thermal_velocity])
+    # cells sitting directly on the axis from above: lower_z == 0
+    on_axis = np.abs(mesh.lower[:, 1]) < 1e-12
+    strip = mesh.lower[on_axis]
+    sizes = mesh.size[on_axis, 0]
+    order = np.argsort(strip[:, 0])
+    print("\ncells on the z=0+ strip, by r (left = origin):")
+    print(" ".join(f"{s:.3g}" for s in sizes[order]))
+    # the origin cell is the finest on the grid, and sizes grow outward
+    assert sizes[order][0] == mesh.size.min()
+    assert np.all(np.diff(sizes[order]) >= -1e-12)

@@ -1,0 +1,58 @@
+"""Figure 4: calculated eta = E/J vs Spitzer eta as a function of Z.
+
+The paper's qualitative verification: the FP-Landau resistivity tracks the
+Spitzer curve across effective ionizations (their Z = 128 point was not
+fully converged).  Appendix B quantifies the deuterium case at ~1% below
+Spitzer — our converged Q3 runs land 1-3% below (see EXPERIMENTS.md for the
+long-run value).
+
+This bench runs short (partially settled) sweeps at a few Z to keep the
+runtime modest; the trend and normalization are what is checked.
+"""
+
+import pytest
+
+from repro.quench import measure_resistivity
+from repro.report import ascii_plot, format_table
+
+ZS = [1.0, 2.0, 4.0]
+
+
+def _sweep():
+    return [
+        measure_resistivity(Z=Z, dt=0.5, max_steps=24, settle_tol=0.005, order=3)
+        for Z in ZS
+    ]
+
+
+def test_fig4_spitzer_vs_Z(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["Z", "eta = E/J", "eta_Spitzer", "ratio", "steps", "Newton its"],
+            [
+                [r["Z"], r["eta"], r["eta_spitzer"], r["ratio"], r["steps"], r["newton_iterations"]]
+                for r in rows
+            ],
+            title="Fig. 4 — calculated vs Spitzer resistivity (code units)",
+        )
+    )
+    print(
+        ascii_plot(
+            [r["Z"] for r in rows],
+            {
+                "eta=E/J": [r["eta"] for r in rows],
+                "Spitzer": [r["eta_spitzer"] for r in rows],
+            },
+            width=48,
+            height=10,
+            title="Fig. 4 (ASCII)",
+        )
+    )
+    # the computed resistivity tracks Spitzer at every Z
+    for r in rows:
+        assert r["ratio"] == pytest.approx(1.0, abs=0.10)
+    # and eta increases with Z (Z F(Z) grows)
+    etas = [r["eta"] for r in rows]
+    assert etas[0] < etas[1] < etas[2]

@@ -1,0 +1,54 @@
+"""Ablation: MPS on vs off (section V-D1).
+
+"Note, we have informally observed a throughput speedup, on a typical high
+throughput case in Table II, of about 3x with the use of MPS."  The
+pipeline model reproduces this: without MPS, kernels from different ranks
+serialize on the device and the high-rank cells collapse.
+"""
+
+import pytest
+
+from repro.gpu.device import V100
+from repro.perf import SUMMIT, MpsPipelineModel
+
+#: the paper's measured per-iteration split on Summit/CUDA: ~5.7 ms CPU
+#: (factor + solve + metadata + other) and ~1.4 ms GPU kernel per Newton
+#: iteration (Table VII / Table II derivation); used for the demonstration
+#: because our own workload is factor-dominated (larger band width), which
+#: makes GPU scheduling almost irrelevant to its throughput.
+PAPER_T_CPU = 5.66e-3
+PAPER_T_GPU = 1.41e-3
+
+
+def _models(_wl=None):
+    with_mps = MpsPipelineModel(SUMMIT, t_gpu=PAPER_T_GPU, t_cpu_base=PAPER_T_CPU)
+    return with_mps, with_mps.without_mps()
+
+
+def test_mps_speedup_on_high_rank_case(benchmark):
+    with_mps, without = benchmark.pedantic(_models, rounds=1, iterations=1)
+    # the typical high-throughput case: 7 cores/GPU x 2 procs/core
+    r_on = with_mps.node_rate(7, 2)
+    r_off = without.node_rate(7, 2)
+    print(
+        f"\n14 ranks/GPU: MPS on {r_on:,.0f} its/s, off {r_off:,.0f} its/s "
+        f"(speedup {r_on / r_off:.2f}x; paper: ~3x observed)"
+    )
+    assert 2.0 <= r_on / r_off <= 4.5
+
+    # single-rank case is insensitive to MPS
+    assert with_mps.node_rate(1, 1) == pytest.approx(
+        without.node_rate(1, 1), rel=0.05
+    )
+
+
+def test_our_workload_insensitive_to_mps(workload):
+    """On our factor-heavy workload the GPU is never the bottleneck, so the
+    scheduler barely matters — an honest difference from the paper's
+    regime, recorded in EXPERIMENTS.md."""
+    t_gpu = workload.kernel_time(V100)
+    t_cpu = workload.cpu_time(SUMMIT.core)
+    m = MpsPipelineModel(SUMMIT, t_gpu=t_gpu, t_cpu_base=t_cpu)
+    r_on = m.node_rate(7, 2)
+    r_off = m.without_mps().node_rate(7, 2)
+    assert r_on / r_off < 1.5

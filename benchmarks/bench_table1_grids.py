@@ -1,0 +1,51 @@
+"""Table I: cost of the Landau operator with 10 species vs number of grids.
+
+Paper rows (for comparison):
+
+    # grids   N IPs   # Landau tensors   n equations
+          1   1,184          1.4M              8,050
+          3     960          0.9M              1,930
+         10   3,200         10.2M              1,930
+"""
+
+from repro.core import grid_cost_table, plan_grids
+from repro.perf.workload import build_paper_species
+from repro.report import format_table
+
+
+def _plans(species):
+    return [
+        [list(range(len(species)))],
+        plan_grids(species),
+        [[i] for i in range(len(species))],
+    ]
+
+
+def test_table1_grid_costs(benchmark):
+    species = build_paper_species()
+    plans = _plans(species)
+    rows = benchmark.pedantic(
+        grid_cost_table, args=(species, plans), kwargs={"order": 3}, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["# grids", "cells", "N IPs", "# Landau tensors", "n equations"],
+            [
+                [
+                    r["grids"],
+                    r["cells"],
+                    r["integration_points"],
+                    r["landau_tensors"],
+                    r["equations"],
+                ]
+                for r in rows
+            ],
+            title="Table I — cost vs number of grids (10 species: e, D, 8x W)",
+        )
+    )
+    one, three, ten = rows
+    # the paper's qualitative conclusions
+    assert one["equations"] > 3 * three["equations"]
+    assert ten["landau_tensors"] > 5 * three["landau_tensors"]
+    assert three["integration_points"] <= one["integration_points"]

@@ -1,0 +1,27 @@
+"""Table III: Kokkos-CUDA / V100 throughput on one Summit node.
+
+Paper values:
+
+    procs/core \\ cores/GPU     1      2      3      5      7
+                        1    792  1,542  2,265  3,511  4,849
+                        2    996  1,974  2,904  4,641  6,013
+                        3  1,010  2,044  2,982  4,805  6,193
+
+Kokkos-CUDA lands at ~88% of hand-written CUDA end-to-end (kernel ~10%
+slower); the portable-language penalty is "not unexpected nor unreasonable".
+"""
+
+from repro.perf import summit_cuda_table, summit_kokkos_table
+
+
+def test_table3_kokkos_cuda_throughput(benchmark, workload):
+    table = benchmark.pedantic(
+        summit_kokkos_table, args=(workload,), rounds=1, iterations=1
+    )
+    print()
+    print("Table III — " + table.format())
+    cuda = summit_cuda_table(workload)
+    assert table.best <= cuda.best
+    assert table.best >= 0.80 * cuda.best
+    ratio = table.best / cuda.best
+    print(f"Kokkos-CUDA / CUDA best-throughput ratio: {ratio:.2f} (paper: 0.88)")

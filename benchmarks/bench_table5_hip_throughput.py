@@ -1,0 +1,31 @@
+"""Table V: Kokkos-HIP / MI100 throughput on one Spock node.
+
+Paper values:
+
+    procs/core \\ cores/GPU     1      2      4      8
+                        1     88    169    281    353
+                        2    154    272    341    241
+
+The signature behaviour: good scaling to 8 cores/GPU at one process per
+core, then throughput *rolls over* with 16 processes per GPU ("the AMD
+equivalent to MPS is not functioning well").
+"""
+
+from repro.perf import spock_hip_table
+
+
+def test_table5_hip_throughput(benchmark, workload):
+    table = benchmark.pedantic(
+        spock_hip_table, args=(workload,), rounds=1, iterations=1
+    )
+    print()
+    print("Table V — " + table.format())
+    v = table.values
+    # scaling at 1 proc/core
+    assert v[0][3] > v[0][2] > v[0][1] > v[0][0]
+    # the rollover at 16 ranks/GPU
+    assert v[1][3] < v[0][3]
+    print(
+        f"rollover: 8 ranks/GPU -> {v[0][3]:,.0f} its/s; "
+        f"16 ranks/GPU -> {v[1][3]:,.0f} its/s (paper: 353 -> 241)"
+    )

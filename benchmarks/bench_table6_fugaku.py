@@ -1,0 +1,35 @@
+"""Table VI: Jacobian construction and total time on one Fugaku node
+(A64FX, Kokkos-OpenMP), 10-step problem.
+
+Paper values (seconds; diagonal = 32 cores):
+
+    #procs \\ threads      8      4      2      1    Total
+         4             (19.3)  38.1   75.3   150     25.1
+         8                    (38.1)               45.9
+        16                           (75.5)        87.0
+        32                                  (150) 169.4
+
+plus "a throughput of 39 Newton iterations/second in the four process,
+eight threads per process case".  The kernel thread-scales ideally; the
+serial solver part spoils the total-time scaling — both reproduced here.
+"""
+
+from repro.perf import fugaku_table
+
+
+def test_table6_fugaku(benchmark, workload):
+    table = benchmark.pedantic(
+        fugaku_table, args=(workload,), rounds=1, iterations=1
+    )
+    print()
+    print("Table VI — " + table.format())
+    j = table.jacobian_seconds
+    # ideal thread scaling of the Jacobian construction (top row)
+    assert j[(4, 4)] / j[(4, 8)] == 2.0
+    assert j[(4, 1)] / j[(4, 8)] == 8.0
+    # diagonal throughput nearly constant; total not ideal
+    rates = [p / table.total_seconds[p] for p in (4, 8, 16, 32)]
+    assert max(rates) / min(rates) < 2.0
+    totals = [table.total_seconds[p] for p in (4, 8, 16, 32)]
+    assert totals[-1] / totals[0] > 3.0  # grows (not flat): serial part
+    print(f"best throughput: {table.throughput_best:.1f} its/s (paper: 39)")

@@ -1,0 +1,51 @@
+"""Table VII: component times per machine/language for the full run.
+
+Paper values (seconds):
+
+    Device                Total  Landau  (Kernel)  factor  solve
+    CUDA                   14.3     3.3       2.9     8.4    0.8
+    Kokkos-CUDA            15.4     4.1       3.2     8.7    0.8
+    Kokkos-HIP             23.1    10.9      10.2     5.9    0.5
+    Fugaku (normalized)   250.7   215.1     209.5    16.1    1.5
+
+Known deviation: our AMR mesh factors with a larger RCM bandwidth than the
+paper's grid appears to, so the factor component is relatively heavier here
+(documented in EXPERIMENTS.md); all orderings and the kernel-time ladder
+(CUDA < Kokkos-CUDA < HIP << Fugaku) reproduce.
+"""
+
+from repro.perf.components import component_table, format_component_table
+
+
+def test_table7_components(benchmark, workload):
+    rows = benchmark.pedantic(
+        component_table, args=(workload,), rounds=1, iterations=1
+    )
+    print()
+    print("Table VII — component times (s) for the 100-step run")
+    print(format_component_table(rows))
+    by = {r.label: r for r in rows}
+    assert by["CUDA"].kernel < by["Kokkos-CUDA"].kernel < by["Kokkos-HIP"].kernel
+    assert by["Kokkos-HIP"].kernel < by["Fugaku (normalized)"].kernel
+    # the paper: EPYC beats POWER9 on factor/solve
+    assert by["Kokkos-HIP"].factor < by["CUDA"].factor
+    # Fugaku dominated by the (unvectorized) Landau kernel
+    f = by["Fugaku (normalized)"]
+    assert f.landau / f.total > 0.5  # paper: ~86%
+    # CUDA: kernel is a minor share of the total (solver dominates)
+    cu = by["CUDA"]
+    assert cu.kernel / cu.total < 0.5  # paper: ~20%
+
+
+def test_band_factor_flops_counted(workload):
+    """The factor cost comes from the real band factorization of the real
+    Jacobian — sanity-check its magnitude: ~2 n B^2 per species block."""
+    n = workload.fs.ndofs
+    B = workload.band_width
+    S = len(workload.species)
+    expect = 2.0 * n * B * B * S
+    print(
+        f"\nfactor flops/iteration: {workload.factor_flops/1e6:.1f}M "
+        f"(2nB^2 S = {expect/1e6:.1f}M, B={B}, n={n})"
+    )
+    assert 0.2 * expect <= workload.factor_flops <= 1.5 * expect

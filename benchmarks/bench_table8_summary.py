@@ -1,0 +1,30 @@
+"""Table VIII: throughput and normalized kernel-performance summary.
+
+Paper values:
+
+    Machine / language     N/sec   hardware            kernel (% CUDA)
+    Summit / CUDA          7,005   6 V100 + 42 P9               100
+    Summit / Kokkos-CUDA   6,193   6 V100 + 42 P9                90
+    Spock / Kokkos-HIP       353   4 MI100 + 32 EPYC             20
+    Fugaku / Kokkos-OMP       39   NA + 32 A64FX                 12
+"""
+
+from repro.perf.summary import format_summary_table, summary_table
+
+
+def test_table8_summary(benchmark, workload):
+    rows = benchmark.pedantic(
+        summary_table, args=(workload,), rounds=1, iterations=1
+    )
+    print()
+    print("Table VIII — " + "\n" + format_summary_table(rows))
+    # throughput ladder as in the paper
+    assert rows[0].throughput >= rows[1].throughput
+    assert rows[1].throughput > rows[2].throughput
+    assert rows[2].throughput > rows[3].throughput
+    # normalized kernel efficiency ladder
+    pct = [r.kernel_pct_cuda for r in rows]
+    assert pct[0] == 100.0
+    assert 80.0 <= pct[1] <= 95.0  # paper: 90
+    assert 5.0 <= pct[2] <= 35.0  # paper: 20
+    assert 2.0 <= pct[3] <= 25.0  # paper: 12

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+The paper's 10-species/80-cell workload profile is expensive to build (a
+full functional simulation of the Jacobian and mass kernels), so it is
+session-scoped.  Benchmarks print the same rows/series the paper's tables
+and figures report; run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.amr import landau_mesh
+from repro.core import LandauOperator, SpeciesSet, deuterium, electron
+from repro.core.maxwellian import species_maxwellian
+from repro.fem import FunctionSpace
+from repro.perf import build_paper_workload
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return build_paper_workload()
+
+
+@pytest.fixture(scope="session")
+def ed_system():
+    """Electron-deuterium system on the production-like mesh."""
+    spc = SpeciesSet([electron(), deuterium()])
+    mesh = landau_mesh([s.thermal_velocity for s in spc])
+    fs = FunctionSpace(mesh, order=3)
+    op = LandauOperator(fs, spc)
+    fields = [fs.interpolate(species_maxwellian(s)) for s in spc]
+    return fs, spc, op, fields
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "benchmark: benchmark tests")

@@ -1,0 +1,5 @@
+"""Setup shim: allows `python setup.py develop` on environments without the
+`wheel` package (editable installs via pip need bdist_wheel)."""
+from setuptools import setup
+
+setup()

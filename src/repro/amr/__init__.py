@@ -1,0 +1,23 @@
+"""Adaptive mesh refinement: a forest-of-quadtrees in the spirit of p4est.
+
+The Landau solver parameterizes mesh adaptivity at a high level (section
+III-B): refine the velocity-space grid so that each species' (near-)
+Maxwellian is resolved — concentrating cells near the origin for heavy/cold
+species and near each species' thermal radius.  This subpackage provides the
+quadtree machinery (refinement, 2:1 balance) and the paper's refinement
+criteria, and converts balanced forests into the non-conforming rectangle
+meshes consumed by :mod:`repro.fem`.
+"""
+
+from .quadtree import Quadrant, QuadForest
+from .criteria import maxwellian_refine, thermal_radius_levels
+from .forest_mesh import forest_to_mesh, landau_mesh
+
+__all__ = [
+    "Quadrant",
+    "QuadForest",
+    "maxwellian_refine",
+    "thermal_radius_levels",
+    "forest_to_mesh",
+    "landau_mesh",
+]

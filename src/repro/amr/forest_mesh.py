@@ -1,0 +1,79 @@
+"""Convert balanced quadforests into FEM meshes; the one-call Landau mesh.
+
+``landau_mesh`` is the reproduction of the solver's command-line mesh
+parameterization: given the species' thermal velocities it builds the
+``[0, L] x [-L, L]`` domain (``L`` = ``domain_factor`` fastest thermal
+velocities, five in the paper), refines toward the origin until every
+species' Maxwellian is resolved, 2:1-balances, and returns the
+non-conforming :class:`repro.fem.Mesh`.
+"""
+
+from __future__ import annotations
+
+from ..fem.mesh import Mesh
+from .criteria import (
+    DEFAULT_CORE_H_FACTOR,
+    DEFAULT_CORE_RADIUS_FACTOR,
+    DEFAULT_H_FACTOR,
+    DEFAULT_RADIUS_FACTOR,
+    DEFAULT_TAIL_RADIUS_FACTOR,
+    maxwellian_refine,
+)
+from .quadtree import QuadForest
+
+#: the paper's "typical domain size of five thermal velocity units"
+DEFAULT_DOMAIN_FACTOR = 5.0
+
+
+def forest_to_mesh(forest: QuadForest) -> Mesh:
+    """Export the forest's leaves as a (possibly non-conforming) Mesh."""
+    lower, size = forest.to_arrays()
+    return Mesh(lower, size)
+
+
+def landau_mesh(
+    thermal_velocities: list[float],
+    domain_factor: float = DEFAULT_DOMAIN_FACTOR,
+    radius_factor: float = DEFAULT_RADIUS_FACTOR,
+    tail_radius_factor: float = DEFAULT_TAIL_RADIUS_FACTOR,
+    h_factor: float = DEFAULT_H_FACTOR,
+    core_radius_factor: float = DEFAULT_CORE_RADIUS_FACTOR,
+    core_h_factor: float = DEFAULT_CORE_H_FACTOR,
+    base_level: int = 0,
+    max_level: int | None = None,
+) -> Mesh:
+    """Build an AMR velocity-space mesh resolving every species' Maxwellian.
+
+    The domain is ``[0, L] x [-L, L]`` with ``L = domain_factor * max(v_th)``,
+    tiled by a 1x2 macro grid of square root trees so every cell is square.
+
+    Parameters
+    ----------
+    thermal_velocities:
+        per-species thermal speeds in code (v0) units.
+    domain_factor:
+        domain half-size in units of the largest thermal velocity (paper: 5).
+    radius_factor, h_factor:
+        refinement aggressiveness, see :func:`repro.amr.maxwellian_refine`.
+    base_level:
+        uniform refinement of each root tree before adaptation.
+    max_level:
+        optional cap on quadtree depth.
+    """
+    if not thermal_velocities:
+        raise ValueError("need at least one thermal velocity")
+    L = domain_factor * max(thermal_velocities)
+    forest = QuadForest(
+        0.0, L, -L, L, trees_x=1, trees_y=2, base_level=base_level
+    )
+    maxwellian_refine(
+        forest,
+        thermal_velocities,
+        radius_factor=radius_factor,
+        tail_radius_factor=tail_radius_factor,
+        h_factor=h_factor,
+        core_radius_factor=core_radius_factor,
+        core_h_factor=core_h_factor,
+        max_level=max_level,
+    )
+    return forest_to_mesh(forest)

@@ -1,0 +1,203 @@
+"""Forest of quadtrees over a rectangular root domain (p4est stand-in).
+
+As in p4est, the domain is tiled by a macro grid of ``trees_x x trees_y``
+square root trees, each recursively subdivided.  Quadrants are addressed by
+``(level, i, j)`` *global* integer coordinates: at level ``l`` the forest is
+a ``(trees_x * 2^l) x (trees_y * 2^l)`` grid and quadrant ``(l, i, j)``
+covers cell ``[i, i+1] x [j, j+1]`` of that grid.  Integer coordinates keep
+all geometry exact, so the non-conforming meshes handed to the FEM layer
+have bit-exact shared edges — the node deduplication in
+:class:`repro.fem.DofMap` relies on this.
+
+The forest supports recursive refinement by a user predicate and 2:1 edge
+balancing (``p4est_balance``), which is what the Landau solver needs from
+p4est.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Quadrant:
+    """A leaf quadrant ``(level, i, j)`` in global integer coordinates."""
+
+    level: int
+    i: int
+    j: int
+
+    def children(self) -> list["Quadrant"]:
+        l, i, j = self.level + 1, 2 * self.i, 2 * self.j
+        return [
+            Quadrant(l, i, j),
+            Quadrant(l, i + 1, j),
+            Quadrant(l, i, j + 1),
+            Quadrant(l, i + 1, j + 1),
+        ]
+
+    def parent(self) -> "Quadrant":
+        if self.level == 0:
+            raise ValueError("level-0 quadrant has no parent")
+        return Quadrant(self.level - 1, self.i // 2, self.j // 2)
+
+
+class QuadForest:
+    """Forest of square quadtrees over ``[x0, x1] x [y0, y1]``.
+
+    Parameters
+    ----------
+    x0, x1, y0, y1:
+        physical extent; ``(x1-x0)/trees_x`` must equal ``(y1-y0)/trees_y``
+        for square cells (not enforced, but the Landau meshes use it).
+    trees_x, trees_y:
+        macro-grid dimensions (p4est's root trees).
+    base_level:
+        initial uniform refinement of every tree.
+    """
+
+    MAX_LEVEL = 24
+
+    def __init__(
+        self,
+        x0: float,
+        x1: float,
+        y0: float,
+        y1: float,
+        trees_x: int = 1,
+        trees_y: int = 1,
+        base_level: int = 0,
+    ):
+        if x1 <= x0 or y1 <= y0:
+            raise ValueError("degenerate root domain")
+        if trees_x < 1 or trees_y < 1:
+            raise ValueError("need at least one tree per direction")
+        if not (0 <= base_level <= self.MAX_LEVEL):
+            raise ValueError(f"base_level out of range: {base_level}")
+        self.x0, self.x1, self.y0, self.y1 = float(x0), float(x1), float(y0), float(y1)
+        self.trees_x, self.trees_y = trees_x, trees_y
+        nx = trees_x << base_level
+        ny = trees_y << base_level
+        self.leaves: set[Quadrant] = {
+            Quadrant(base_level, i, j) for i in range(nx) for j in range(ny)
+        }
+
+    # --- geometry ---------------------------------------------------------------
+    def _cell_size(self, level: int) -> tuple[float, float]:
+        return (
+            (self.x1 - self.x0) / (self.trees_x << level),
+            (self.y1 - self.y0) / (self.trees_y << level),
+        )
+
+    def quadrant_bounds(self, q: Quadrant) -> tuple[float, float, float, float]:
+        """Physical ``(x0, y0, x1, y1)`` of a quadrant."""
+        hx, hy = self._cell_size(q.level)
+        return (
+            self.x0 + q.i * hx,
+            self.y0 + q.j * hy,
+            self.x0 + (q.i + 1) * hx,
+            self.y0 + (q.j + 1) * hy,
+        )
+
+    def quadrant_center(self, q: Quadrant) -> tuple[float, float]:
+        b = self.quadrant_bounds(q)
+        return (0.5 * (b[0] + b[2]), 0.5 * (b[1] + b[3]))
+
+    @property
+    def nleaves(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def max_level(self) -> int:
+        return max((q.level for q in self.leaves), default=0)
+
+    # --- refinement --------------------------------------------------------------
+    def refine(self, predicate, max_level: int | None = None) -> int:
+        """Recursively refine leaves while ``predicate(forest, quadrant)`` holds.
+
+        Returns the number of refinement operations.  ``max_level`` caps the
+        depth (default :data:`MAX_LEVEL`).
+        """
+        cap = self.MAX_LEVEL if max_level is None else max_level
+        nref = 0
+        work = list(self.leaves)
+        while work:
+            q = work.pop()
+            if q not in self.leaves or q.level >= cap:
+                continue
+            if predicate(self, q):
+                self.leaves.remove(q)
+                kids = q.children()
+                self.leaves.update(kids)
+                work.extend(kids)
+                nref += 1
+        return nref
+
+    def refine_once(self, quads: list[Quadrant]) -> None:
+        """Refine an explicit list of leaves one level."""
+        for q in quads:
+            if q not in self.leaves:
+                raise ValueError(f"{q} is not a leaf")
+            self.leaves.remove(q)
+            self.leaves.update(q.children())
+
+    # --- 2:1 balance ---------------------------------------------------------------
+    @staticmethod
+    def _edge_adjacent(fine: Quadrant, coarse: Quadrant) -> bool:
+        """True if the two quadrants share (part of) an edge; fine.level > coarse.level."""
+        dl = fine.level - coarse.level
+        scale = 1 << dl
+        ci0, cj0 = coarse.i * scale, coarse.j * scale
+        ci1, cj1 = ci0 + scale, cj0 + scale
+        touch_x = fine.i + 1 == ci0 or ci1 == fine.i
+        touch_y = fine.j + 1 == cj0 or cj1 == fine.j
+        overlap_x = ci0 < fine.i + 1 and fine.i < ci1
+        overlap_y = cj0 < fine.j + 1 and fine.j < cj1
+        return (touch_x and overlap_y) or (touch_y and overlap_x)
+
+    def _violations(self) -> set[Quadrant]:
+        """Leaves that must be refined to restore 2:1 edge balance."""
+        leaves = sorted(self.leaves, key=lambda q: q.level)
+        bad: set[Quadrant] = set()
+        # O(n^2) pair scan — forests here are a few hundred leaves.
+        for a in leaves:
+            for b in leaves:
+                if b.level - a.level >= 2 and self._edge_adjacent(b, a):
+                    bad.add(a)
+                    break
+        return bad
+
+    def balance(self) -> int:
+        """Enforce 2:1 edge balance.  Returns the number of refinements."""
+        nref = 0
+        while True:
+            bad = self._violations()
+            if not bad:
+                return nref
+            self.refine_once(list(bad))
+            nref += len(bad)
+
+    def is_balanced(self) -> bool:
+        return not self._violations()
+
+    # --- export -------------------------------------------------------------------
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(lower, size)`` arrays for :class:`repro.fem.Mesh`, deterministically
+        ordered (level, j, i)."""
+        quads = sorted(self.leaves, key=lambda q: (q.level, q.j, q.i))
+        lower = np.empty((len(quads), 2))
+        size = np.empty((len(quads), 2))
+        for k, q in enumerate(quads):
+            b = self.quadrant_bounds(q)
+            lower[k] = (b[0], b[1])
+            size[k] = (b[2] - b[0], b[3] - b[1])
+        return lower, size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuadForest(nleaves={self.nleaves}, max_level={self.max_level}, "
+            f"domain=[{self.x0},{self.x1}]x[{self.y0},{self.y1}], "
+            f"trees={self.trees_x}x{self.trees_y})"
+        )

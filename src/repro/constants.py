@@ -1,0 +1,61 @@
+"""Physical constants and plasma parameters (SI units).
+
+The solver itself works in the nondimensional units of Appendix A of the
+paper (see :mod:`repro.units`); this module provides the SI anchors used to
+convert back and forth and the species data (electron, deuterium, tungsten
+ionization states) used throughout the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- fundamental constants (CODATA 2018, SI) -------------------------------
+ELECTRON_CHARGE = 1.602176634e-19  # C
+ELECTRON_MASS = 9.1093837015e-31  # kg
+PROTON_MASS = 1.67262192369e-27  # kg
+ATOMIC_MASS_UNIT = 1.66053906660e-27  # kg
+VACUUM_PERMITTIVITY = 8.8541878128e-12  # F/m
+BOLTZMANN = 1.380649e-23  # J/K
+SPEED_OF_LIGHT = 2.99792458e8  # m/s
+
+# electron-volt in joules and kelvin
+EV = ELECTRON_CHARGE  # J
+EV_IN_KELVIN = EV / BOLTZMANN
+
+# --- paper defaults ---------------------------------------------------------
+#: Coulomb logarithm used for every species pair in the paper ("=10 herein").
+COULOMB_LOG = 10.0
+
+#: Reference number density for a typical fusion plasma (Appendix A).
+DEFAULT_DENSITY = 1.0e20  # m^-3
+
+#: mass ratios relative to the electron
+DEUTERIUM_MASS_RATIO = 2.0141017778 * ATOMIC_MASS_UNIT / ELECTRON_MASS
+TUNGSTEN_MASS_RATIO = 183.84 * ATOMIC_MASS_UNIT / ELECTRON_MASS
+PROTON_MASS_RATIO = PROTON_MASS / ELECTRON_MASS
+
+
+def thermal_speed(temperature_ev: float, mass_kg: float) -> float:
+    """Most-probable-ish reference speed ``v0 = sqrt(8 kT / (pi m))``.
+
+    This is the reference velocity of Appendix A (the mean speed of a
+    Maxwellian), evaluated in SI units for a temperature given in eV.
+    """
+    if temperature_ev <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_ev}")
+    if mass_kg <= 0.0:
+        raise ValueError(f"mass must be positive, got {mass_kg}")
+    return math.sqrt(8.0 * temperature_ev * EV / (math.pi * mass_kg))
+
+
+def collision_frequency_prefactor(m0: float = ELECTRON_MASS) -> float:
+    """``nu = ln(Lambda) e^4 / (8 pi m0^2 eps0^2)`` with unit effective charges.
+
+    The per-pair collision frequency of eq. (2) is
+    ``nu_ab = e_a^2 e_b^2 ln(Lambda) / (8 pi m0^2 eps0^2)``; this returns the
+    value for ``e_a = e_b = e`` (elementary charge), i.e. the electron-electron
+    value, so that ``nu_ab = prefactor * z_a^2 * z_b^2``.
+    """
+    e4 = ELECTRON_CHARGE**4
+    return COULOMB_LOG * e4 / (8.0 * math.pi * m0**2 * VACUUM_PERMITTIVITY**2)

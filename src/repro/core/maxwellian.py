@@ -1,0 +1,50 @@
+"""(Shifted) Maxwellian distributions in axisymmetric velocity coordinates.
+
+All in code units: a species with density ``n`` (units of n0), thermal
+velocity ``v_th`` (units of v0) has
+
+    f(r, z) = n / (pi^{3/2} v_th^3) exp(-((r^2 + (z - uz)^2) / v_th^2)
+
+normalized so the full 3D velocity integral ``2 pi int r f dr dz = n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .species import Species
+
+
+def maxwellian_rz(r, z, density: float = 1.0, thermal_velocity: float = 1.0):
+    """Isotropic Maxwellian at rest; broadcasts over ``r``, ``z``."""
+    return shifted_maxwellian_rz(r, z, density, thermal_velocity, 0.0)
+
+
+def shifted_maxwellian_rz(
+    r,
+    z,
+    density: float = 1.0,
+    thermal_velocity: float = 1.0,
+    drift_z: float = 0.0,
+):
+    """Maxwellian drifting along z with velocity ``drift_z``."""
+    if thermal_velocity <= 0:
+        raise ValueError(f"thermal velocity must be positive, got {thermal_velocity}")
+    r = np.asarray(r, dtype=float)
+    z = np.asarray(z, dtype=float)
+    v2 = (r * r + (z - drift_z) ** 2) / thermal_velocity**2
+    norm = density / (math.pi**1.5 * thermal_velocity**3)
+    return norm * np.exp(-v2)
+
+
+def species_maxwellian(species: Species, drift_z: float = 0.0):
+    """Closure ``f(r, z)`` for a species' equilibrium distribution."""
+
+    def f(r, z):
+        return shifted_maxwellian_rz(
+            r, z, species.density, species.thermal_velocity, drift_z
+        )
+
+    return f

@@ -1,0 +1,104 @@
+"""Velocity-space moments: density, momentum, energy, current, temperature.
+
+Physical moments carry the ``2 pi`` azimuthal factor:
+``n = 2 pi int r f dr dz`` etc.  Temperatures are reported in units of the
+reference temperature ``T0`` (``k T0 = (pi/8) m0 v0^2`` in code units).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fem.function_space import FunctionSpace
+from .species import SpeciesSet
+
+TWO_PI = 2.0 * math.pi
+#: k T0 expressed in code energy units (m0 v0^2): T0 = (pi/8) m0 v0^2
+KT0_CODE = math.pi / 8.0
+
+
+@dataclass
+class SpeciesMoments:
+    """Moments of a single species distribution (code units)."""
+
+    density: float
+    momentum_z: float  # m n <v_z>
+    energy: float  # (m/2) <|v|^2> number-weighted (total kinetic energy density)
+    drift_z: float  # <v_z>
+    temperature: float  # in units of T0
+
+    @property
+    def thermal_energy(self) -> float:
+        """Energy in the drift frame: ``energy - (1/2) m n u^2``."""
+        return self.energy - 0.5 * self.momentum_z * self.drift_z
+
+
+class Moments:
+    """Moment evaluator bound to a function space and species set."""
+
+    def __init__(self, fs: FunctionSpace, species: SpeciesSet):
+        self.fs = fs
+        self.species = species
+        # quadrature-point coordinate arrays
+        self.r = fs.qpoints[:, :, 0]
+        self.z = fs.qpoints[:, :, 1]
+        self.v2 = self.r**2 + self.z**2
+
+    # --- single-species ---------------------------------------------------------
+    def species_moments(self, s_index: int, x: np.ndarray) -> SpeciesMoments:
+        s = self.species[s_index]
+        f = self.fs.eval(x)
+        n = TWO_PI * self.fs.integrate(f)
+        pz = TWO_PI * s.mass * self.fs.integrate(self.z * f)
+        en = TWO_PI * 0.5 * s.mass * self.fs.integrate(self.v2 * f)
+        drift = pz / (s.mass * n) if n > 0 else 0.0
+        # thermal energy (3/2) n k T = E - (1/2) m n u^2
+        eth = en - 0.5 * s.mass * n * drift * drift
+        kT_code = (2.0 / 3.0) * eth / n if n > 0 else 0.0
+        return SpeciesMoments(
+            density=n,
+            momentum_z=pz,
+            energy=en,
+            drift_z=drift,
+            temperature=kT_code / KT0_CODE,
+        )
+
+    # --- plasma-level -----------------------------------------------------------
+    def density(self, fields: list[np.ndarray]) -> np.ndarray:
+        return np.array(
+            [self.species_moments(a, x).density for a, x in enumerate(fields)]
+        )
+
+    def total_momentum_z(self, fields: list[np.ndarray]) -> float:
+        return float(
+            sum(self.species_moments(a, x).momentum_z for a, x in enumerate(fields))
+        )
+
+    def total_energy(self, fields: list[np.ndarray]) -> float:
+        return float(
+            sum(self.species_moments(a, x).energy for a, x in enumerate(fields))
+        )
+
+    def current_z(self, fields: list[np.ndarray]) -> float:
+        """``J_z = sum_a q_a 2pi int r v_z f_a`` (code units; section IV-B)."""
+        J = 0.0
+        for s, x in zip(self.species, fields):
+            f = self.fs.eval(x)
+            J += s.charge * TWO_PI * self.fs.integrate(self.z * f)
+        return float(J)
+
+    def electron_temperature(self, fields: list[np.ndarray]) -> float:
+        """T_e in units of T0; electrons are species 0 by convention."""
+        return self.species_moments(0, fields[0]).temperature
+
+    def summary(self, fields: list[np.ndarray]) -> dict[str, float]:
+        return {
+            "n_e": float(self.density(fields)[0]),
+            "J_z": self.current_z(fields),
+            "T_e": self.electron_temperature(fields),
+            "p_z": self.total_momentum_z(fields),
+            "energy": self.total_energy(fields),
+        }

@@ -1,0 +1,200 @@
+"""Implicit time advance of the collision operator with a quasi-Newton solve.
+
+The full linearization of the Landau operator is dense; as in the paper the
+practical approximate Jacobian freezes ``D`` and ``K`` at the current state,
+making the operator *linear in each species* per iteration (section III):
+
+    (M + dt a_s A - theta dt L_s(f^k)) f_s^{k+1} =
+        M f_s^n + (1-theta) dt (L_s(f^k) f_s^n - a_s A f_s^n) + dt b_s
+
+with the z-advection operator ``A`` (E-field acceleration,
+``a_s = z_s E~ / m_s``) and source projection ``b_s``.  The iteration is a
+quasi-Newton / Picard scheme that converges linearly, is robust, and matches
+the production solver in XGC.  The per-species blocks are independent — the
+multi-species Jacobian is block diagonal — which the linear solver exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..fem.assembly import assemble_z_advection
+from .operator import LandauOperator
+
+
+@dataclass
+class NewtonStats:
+    """Work counters — the throughput figure of merit is Newton iterations."""
+
+    time_steps: int = 0
+    newton_iterations: int = 0
+    jacobian_builds: int = 0
+    factorizations: int = 0
+    solves: int = 0
+    converged_last: bool = True
+    residual_history: list = field(default_factory=list)
+
+    def merge(self, other: "NewtonStats") -> None:
+        self.time_steps += other.time_steps
+        self.newton_iterations += other.newton_iterations
+        self.jacobian_builds += other.jacobian_builds
+        self.factorizations += other.factorizations
+        self.solves += other.solves
+
+
+def _splu_factory(A: sp.csr_matrix) -> Callable[[np.ndarray], np.ndarray]:
+    lu = spla.splu(A.tocsc())
+    return lu.solve
+
+
+class ImplicitLandauSolver:
+    """Backward-Euler / theta-method integrator for eq. (1) on one grid.
+
+    Parameters
+    ----------
+    operator:
+        the Landau collision operator (holds the species and the space).
+    theta:
+        1.0 = backward Euler (default), 0.5 = Crank-Nicolson.
+    linear_solver:
+        ``"splu"`` (scipy sparse LU) or ``"band"`` (the custom RCM band
+        solver of section III-G), or a callable ``A -> solve``.
+    rtol, atol, max_newton:
+        quasi-Newton stopping controls.
+    """
+
+    def __init__(
+        self,
+        operator: LandauOperator,
+        theta: float = 1.0,
+        linear_solver: str | Callable = "splu",
+        rtol: float = 1e-9,
+        atol: float = 1e-14,
+        max_newton: int = 50,
+    ):
+        if not (0.0 < theta <= 1.0):
+            raise ValueError(f"theta must be in (0, 1], got {theta}")
+        self.op = operator
+        self.fs = operator.fs
+        self.species = operator.species
+        self.theta = float(theta)
+        self.rtol = float(rtol)
+        self.atol = float(atol)
+        self.max_newton = int(max_newton)
+        self.stats = NewtonStats()
+
+        if callable(linear_solver):
+            self._factor = linear_solver
+        elif linear_solver == "splu":
+            self._factor = _splu_factory
+        elif linear_solver == "band":
+            from ..sparse.band import band_solver_factory
+
+            self._factor = band_solver_factory
+        else:
+            raise ValueError(f"unknown linear solver {linear_solver!r}")
+
+        self.M = operator.mass_matrix
+        self._A_adv: sp.csr_matrix | None = None
+
+    @property
+    def advection(self) -> sp.csr_matrix:
+        if self._A_adv is None:
+            self._A_adv = assemble_z_advection(self.fs)
+        return self._A_adv
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        fields: list[np.ndarray],
+        dt: float,
+        efield: float = 0.0,
+        sources: list[np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """Advance all species by one implicit step of size ``dt``.
+
+        ``sources`` optionally holds per-species weak-form source vectors
+        ``b_s = (psi, S_s)`` (already reduced to free dofs).
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        S = len(self.species)
+        if len(fields) != S:
+            raise ValueError(f"expected {S} fields, got {len(fields)}")
+        fn = [np.asarray(x, dtype=float) for x in fields]
+        fk = [x.copy() for x in fn]
+        theta = self.theta
+        M = self.M
+        A = self.advection if efield != 0.0 else None
+
+        step_stats = NewtonStats(time_steps=1)
+        norms0 = [max(np.linalg.norm(x), self.atol) for x in fn]
+        converged = False
+        for _it in range(self.max_newton):
+            if theta == 1.0:
+                f_lin = fk
+            else:
+                # freeze D/K at the theta-weighted state so the theta method
+                # keeps its formal order (coefficients at the midpoint for
+                # Crank-Nicolson)
+                f_lin = [
+                    theta * fk[s] + (1.0 - theta) * fn[s] for s in range(S)
+                ]
+            L = self.op.jacobian(f_lin)
+            step_stats.jacobian_builds += 1
+            step_stats.newton_iterations += 1
+            delta = 0.0
+            fk1 = []
+            for s_idx, s in enumerate(self.species):
+                lhs = M - theta * dt * L[s_idx]
+                rhs = M @ fn[s_idx]
+                if theta < 1.0:
+                    rhs = rhs + (1.0 - theta) * dt * (L[s_idx] @ fn[s_idx])
+                if A is not None:
+                    a_s = s.charge * efield / s.mass
+                    lhs = lhs + theta * dt * a_s * A
+                    if theta < 1.0:
+                        rhs = rhs - (1.0 - theta) * dt * a_s * (A @ fn[s_idx])
+                if sources is not None and sources[s_idx] is not None:
+                    rhs = rhs + dt * sources[s_idx]
+                solve = self._factor(lhs.tocsr())
+                step_stats.factorizations += 1
+                x = solve(rhs)
+                step_stats.solves += 1
+                delta = max(
+                    delta, np.linalg.norm(x - fk[s_idx]) / norms0[s_idx]
+                )
+                fk1.append(x)
+            fk = fk1
+            step_stats.residual_history.append(delta)
+            if delta < self.rtol:
+                converged = True
+                break
+        step_stats.converged_last = converged
+        self.stats.merge(step_stats)
+        self.stats.converged_last = converged
+        self.stats.residual_history = step_stats.residual_history
+        return fk
+
+    # ------------------------------------------------------------------
+    def integrate(
+        self,
+        fields: list[np.ndarray],
+        dt: float,
+        nsteps: int,
+        efield: float = 0.0,
+        sources: list[np.ndarray] | None = None,
+        callback: Callable | None = None,
+    ) -> list[np.ndarray]:
+        """Run ``nsteps`` implicit steps; ``callback(step, t, fields)``."""
+        f = [np.asarray(x, dtype=float) for x in fields]
+        for k in range(nsteps):
+            f = self.step(f, dt, efield=efield, sources=sources)
+            if callback is not None:
+                callback(k + 1, (k + 1) * dt, f)
+        return f

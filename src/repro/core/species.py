@@ -1,0 +1,160 @@
+"""Plasma species and species sets in nondimensional (code) units.
+
+Charge is in units of the elementary charge, mass in units of the reference
+mass ``m0`` (electron mass), density in units of ``n0`` and temperature in
+units of the reference temperature ``T0`` that anchors ``v0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from .. import constants as c
+
+
+@dataclass(frozen=True)
+class Species:
+    """A plasma species in code units.
+
+    Attributes
+    ----------
+    name:
+        label for reports.
+    charge:
+        signed charge number ``z`` (electron = -1).
+    mass:
+        mass ratio ``m/m0``.
+    density:
+        number density in units of ``n0``.
+    temperature:
+        temperature in units of the reference ``T0``.
+    """
+
+    name: str
+    charge: float
+    mass: float
+    density: float = 1.0
+    temperature: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0:
+            raise ValueError(f"{self.name}: mass must be positive")
+        if self.density < 0:
+            raise ValueError(f"{self.name}: density must be non-negative")
+        if self.temperature <= 0:
+            raise ValueError(f"{self.name}: temperature must be positive")
+
+    @property
+    def thermal_velocity(self) -> float:
+        """``v_th = sqrt(2 k T / m)`` in code (v0) units.
+
+        With ``v0 = sqrt(8 k T0 / (pi m0))``, an electron at ``T = T0`` has
+        ``v_th = sqrt(pi)/2 ~= 0.886``.
+        """
+        vth_e_at_T0 = math.sqrt(math.pi) / 2.0
+        return vth_e_at_T0 * math.sqrt(self.temperature / self.mass)
+
+    def with_temperature(self, temperature: float) -> "Species":
+        return replace(self, temperature=temperature)
+
+    def with_density(self, density: float) -> "Species":
+        return replace(self, density=density)
+
+
+class SpeciesSet:
+    """An ordered collection of species (electrons first by convention)."""
+
+    def __init__(self, species: list[Species]):
+        if not species:
+            raise ValueError("need at least one species")
+        names = [s.name for s in species]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate species names: {names}")
+        self.species = list(species)
+
+    def __len__(self) -> int:
+        return len(self.species)
+
+    def __iter__(self):
+        return iter(self.species)
+
+    def __getitem__(self, i: int) -> Species:
+        return self.species[i]
+
+    @property
+    def charges(self):
+        import numpy as np
+
+        return np.array([s.charge for s in self.species])
+
+    @property
+    def masses(self):
+        import numpy as np
+
+        return np.array([s.mass for s in self.species])
+
+    @property
+    def densities(self):
+        import numpy as np
+
+        return np.array([s.density for s in self.species])
+
+    @property
+    def thermal_velocities(self):
+        import numpy as np
+
+        return np.array([s.thermal_velocity for s in self.species])
+
+    def quasineutral(self) -> bool:
+        """True if the total charge density vanishes (to 1e-12)."""
+        return abs(sum(s.charge * s.density for s in self.species)) < 1e-12
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "SpeciesSet(" + ", ".join(s.name for s in self.species) + ")"
+
+
+# --- standard species --------------------------------------------------------
+def electron(density: float = 1.0, temperature: float = 1.0) -> Species:
+    return Species("e", charge=-1.0, mass=1.0, density=density, temperature=temperature)
+
+
+def deuterium(density: float = 1.0, temperature: float = 1.0) -> Species:
+    return Species(
+        "D",
+        charge=1.0,
+        mass=c.DEUTERIUM_MASS_RATIO,
+        density=density,
+        temperature=temperature,
+    )
+
+
+def hydrogenic(Z: float, density: float = 1.0, temperature: float = 1.0) -> Species:
+    """A fully stripped ion of charge Z with mass ``2 Z m_p`` (A ~= 2Z)."""
+    return Species(
+        f"Z{Z:g}",
+        charge=Z,
+        mass=2.0 * Z * c.PROTON_MASS_RATIO,
+        density=density,
+        temperature=temperature,
+    )
+
+
+def tungsten_states(
+    charges: list[float] | None = None,
+    density_each: float = 0.125,
+    temperature: float = 1.0,
+) -> list[Species]:
+    """Eight effective tungsten ionization states (the paper's impurity mix)."""
+    if charges is None:
+        charges = [10.0 + 5.0 * k for k in range(8)]
+    return [
+        Species(
+            f"W{int(zc)}",
+            charge=zc,
+            mass=c.TUNGSTEN_MASS_RATIO,
+            density=density_each,
+            temperature=temperature,
+        )
+        for zc in charges
+    ]

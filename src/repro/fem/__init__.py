@@ -1,0 +1,36 @@
+"""Finite element substrate: quadrature, tensor-product Lagrange elements,
+quadrilateral meshes in (r, z) velocity space, DoF maps with hanging-node
+constraints, and generic weak-form assembly.
+
+This subpackage plays the role of PETSc's DMPlex + PetscFE for the purposes
+of the reproduction: everything the Landau operator needs from a finite
+element library is implemented here from scratch.
+"""
+
+from .quadrature import GaussLegendre1D, TensorQuadrature
+from .reference import LagrangeQuad
+from .mesh import Mesh
+from .dofmap import DofMap
+from .function_space import FunctionSpace
+from .assembly import (
+    assemble_mass,
+    assemble_weighted_mass,
+    assemble_z_advection,
+    assemble_coefficient_operator,
+)
+from .vtk import mesh_to_vtk, field_to_vtk
+
+__all__ = [
+    "GaussLegendre1D",
+    "TensorQuadrature",
+    "LagrangeQuad",
+    "Mesh",
+    "DofMap",
+    "FunctionSpace",
+    "assemble_mass",
+    "assemble_weighted_mass",
+    "assemble_z_advection",
+    "assemble_coefficient_operator",
+    "mesh_to_vtk",
+    "field_to_vtk",
+]

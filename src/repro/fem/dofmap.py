@@ -1,0 +1,229 @@
+"""Global degree-of-freedom numbering with hanging-node constraints.
+
+Non-conforming (2:1 balanced) quadtree meshes have "constrained vertices":
+nodes on the fine side of a level jump whose values are interpolated from the
+coarse edge, exactly as the paper describes for the GPU assembly ("elements
+with constrained faces ... interpolate each matrix value associated with a
+constrained degree of freedom to four degrees of freedom in the global matrix
+with the Q3 elements used here").
+
+The constraint structure is captured in a sparse prolongation ``P`` of shape
+``(n_full, n_free)``: free (unconstrained) nodes map to themselves and each
+constrained node row holds the coarse-edge interpolation weights (``k+1``
+weights for a Qk edge, i.e. 4 for Q3).  Assembled full-space operators are
+reduced as ``P^T A P`` and full-space nodal vectors expand as ``P @ x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .mesh import Mesh
+from .reference import LagrangeQuad, lagrange_basis_1d
+
+
+def _coord_keys(coords: np.ndarray, tol: float) -> np.ndarray:
+    """Integer keys for coordinate deduplication at tolerance ``tol``."""
+    return np.round(coords / tol).astype(np.int64)
+
+
+class DofMap:
+    """Global numbering of Qk nodes on a (possibly non-conforming) mesh.
+
+    Attributes
+    ----------
+    cell_nodes:
+        ``(nelem, nb)`` full-space node index per element node.
+    node_coords:
+        ``(n_full, 2)`` physical coordinates of all unique nodes.
+    n_full / n_free:
+        counts of all nodes and of unconstrained nodes.
+    P:
+        ``(n_full, n_free)`` CSR constraint/prolongation matrix.
+    free_nodes:
+        full-space indices of the free nodes, in free-numbering order.
+    """
+
+    def __init__(self, mesh: Mesh, element: LagrangeQuad, tol: float = 1e-9):
+        self.mesh = mesh
+        self.element = element
+        scale = max(abs(b) for b in mesh.bounds) or 1.0
+        self._tol = tol * scale
+
+        phys = mesh.map_to_physical(element.nodes)  # (nelem, nb, 2)
+        nelem, nb, _ = phys.shape
+        flat = phys.reshape(-1, 2)
+        keys = _coord_keys(flat, self._tol)
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        self.n_full = uniq.shape[0]
+        self.cell_nodes = inverse.reshape(nelem, nb)
+        # representative coordinates (first occurrence)
+        self.node_coords = np.zeros((self.n_full, 2))
+        first = np.full(self.n_full, -1, dtype=np.int64)
+        seen_order = np.argsort(inverse, kind="stable")
+        prev = -1
+        for idx in seen_order:
+            g = inverse[idx]
+            if g != prev:
+                first[g] = idx
+                prev = g
+        self.node_coords = flat[first]
+
+        constraints = self._find_constraints()
+        self._build_prolongation(constraints)
+
+    # ------------------------------------------------------------------
+    def _element_edges(self):
+        """Yield ``(elem, axis, line, lo, hi, edge_id)`` for all element edges.
+
+        ``axis`` is the coordinate held fixed on the edge (0 = r, 1 = z);
+        ``line`` its value; ``[lo, hi]`` the span in the other coordinate.
+        """
+        mesh = self.mesh
+        upper = mesh.lower + mesh.size
+        for e in range(mesh.nelem):
+            r0, z0 = mesh.lower[e]
+            r1, z1 = upper[e]
+            yield e, 1, z0, r0, r1, 0  # bottom: z = z0
+            yield e, 0, r1, z0, z1, 1  # right:  r = r1
+            yield e, 1, z1, r0, r1, 2  # top:    z = z1
+            yield e, 0, r0, z0, z1, 3  # left:   r = r0
+
+    def _find_constraints(self) -> dict[int, dict[int, float]]:
+        """Detect hanging nodes and their (possibly chained) raw constraints.
+
+        A node hanging on a level interface belongs to the *fine* side; it is
+        constrained by the *coarse* edge's nodes.  The discriminator is edge
+        length: node ``n`` on line ``l`` is constrained by an edge on ``l``
+        only if that edge is strictly longer than every edge on ``l`` of the
+        elements that own ``n`` as a node (otherwise ``n`` is a regular node
+        of the finest trace space and needs no constraint — e.g. interior
+        nodes of the coarse edge itself).  Targets of a constraint may
+        themselves be constrained; chains are resolved later.
+        """
+        elem = self.element
+        tol = self._tol
+        node_xy = self.node_coords
+        elem_node_sets = [set(row.tolist()) for row in self.cell_nodes]
+
+        # index nodes by their rounded r and z coordinates for line lookups
+        rkey = np.round(node_xy[:, 0] / tol).astype(np.int64)
+        zkey = np.round(node_xy[:, 1] / tol).astype(np.int64)
+        by_r: dict[int, list[int]] = {}
+        by_z: dict[int, list[int]] = {}
+        for n in range(self.n_full):
+            by_r.setdefault(int(rkey[n]), []).append(n)
+            by_z.setdefault(int(zkey[n]), []).append(n)
+
+        def nodes_on_line(axis: int, line: float) -> list[int]:
+            key = int(round(line / tol))
+            return (by_r if axis == 0 else by_z).get(key, [])
+
+        # pass 1: longest owning edge per (node, axis, line)
+        own_len: dict[tuple[int, int, int], float] = {}
+        for e, axis, line, lo, hi, edge_id in self._element_edges():
+            local = elem.edge_nodes(edge_id)
+            length = hi - lo
+            linekey = int(round(line / tol))
+            for n in self.cell_nodes[e, local]:
+                k = (int(n), axis, linekey)
+                if own_len.get(k, 0.0) < length:
+                    own_len[k] = length
+
+        # pass 2: constraints from strictly longer foreign edges
+        constraints: dict[int, dict[int, float]] = {}
+        edge_nodes_1d = elem.nodes_1d
+        for e, axis, line, lo, hi, edge_id in self._element_edges():
+            cands = nodes_on_line(axis, line)
+            if not cands:
+                continue
+            length = hi - lo
+            linekey = int(round(line / tol))
+            local = elem.edge_nodes(edge_id)
+            targets = self.cell_nodes[e, local]
+            for n in cands:
+                if n in elem_node_sets[e]:
+                    continue
+                span_coord = node_xy[n, 1 - axis]
+                if span_coord < lo - tol or span_coord > hi + tol:
+                    continue
+                owned = own_len.get((n, axis, linekey), 0.0)
+                if length <= owned * (1.0 + 1e-12):
+                    continue  # not a coarser edge than the node's own
+                # n hangs on this (coarser) edge: interpolate from its nodes
+                t = 2.0 * (span_coord - lo) / (hi - lo) - 1.0
+                w = lagrange_basis_1d(edge_nodes_1d, np.array([t]))[0]
+                entry = {
+                    int(targets[k]): float(w[k])
+                    for k in range(len(local))
+                    if abs(w[k]) > 1e-14
+                }
+                prev = constraints.get(n)
+                if prev is None or length > max(
+                    0.0, *(own_len.get((int(tn), axis, linekey), 0.0) for tn in prev)
+                ):
+                    constraints[n] = entry
+        return constraints
+
+    def _build_prolongation(self, constraints: dict[int, dict[int, float]]) -> None:
+        """Resolve constraint chains and assemble ``P``."""
+        constrained = set(constraints)
+        free_nodes = np.array(
+            [n for n in range(self.n_full) if n not in constrained], dtype=np.int64
+        )
+        self.free_nodes = free_nodes
+        self.n_free = len(free_nodes)
+        full_to_free = -np.ones(self.n_full, dtype=np.int64)
+        full_to_free[free_nodes] = np.arange(self.n_free)
+        self.full_to_free = full_to_free
+
+        def resolve(node: int, depth: int = 0) -> dict[int, float]:
+            if node not in constraints:
+                return {node: 1.0}
+            if depth > 32:
+                raise RuntimeError(
+                    f"constraint chain too deep at node {node}; mesh is not 2:1 balanced"
+                )
+            out: dict[int, float] = {}
+            for tgt, w in constraints[node].items():
+                for base, wb in resolve(tgt, depth + 1).items():
+                    out[base] = out.get(base, 0.0) + w * wb
+            return out
+
+        rows, cols, vals = [], [], []
+        for n in range(self.n_full):
+            for base, w in resolve(n).items():
+                fr = full_to_free[base]
+                if fr < 0:  # should not happen after resolution
+                    raise RuntimeError(f"unresolved constraint target {base}")
+                rows.append(n)
+                cols.append(int(fr))
+                vals.append(w)
+        self.P = sp.csr_matrix(
+            (vals, (rows, cols)), shape=(self.n_full, self.n_free)
+        )
+        self.n_constrained = self.n_full - self.n_free
+
+    # ------------------------------------------------------------------
+    def reduce_matrix(self, A_full: sp.spmatrix) -> sp.csr_matrix:
+        """``P^T A P`` — fold constrained rows/columns into free dofs."""
+        return (self.P.T @ A_full @ self.P).tocsr()
+
+    def reduce_vector(self, b_full: np.ndarray) -> np.ndarray:
+        return self.P.T @ b_full
+
+    def expand(self, x_free: np.ndarray) -> np.ndarray:
+        """Full-space nodal values (constrained nodes interpolated)."""
+        return self.P @ x_free
+
+    def interpolate(self, func) -> np.ndarray:
+        """Free-space vector with ``func(r, z)`` evaluated at free nodes."""
+        xy = self.node_coords[self.free_nodes]
+        return np.asarray(func(xy[:, 0], xy[:, 1]), dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DofMap(Q{self.element.order}, nelem={self.mesh.nelem}, "
+            f"n_free={self.n_free}, n_constrained={self.n_constrained})"
+        )

@@ -1,0 +1,161 @@
+"""Finite element function space: tabulation, evaluation and projection.
+
+A :class:`FunctionSpace` bundles a mesh, a Qk element, the matching tensor
+Gauss quadrature and the constrained DoF map, and provides the quadrature-
+point data (coordinates ``r``/``z``, combined weights ``w`` including the
+cylindrical measure, values ``f`` and gradients ``df``) that the Landau
+kernels consume — the structure-of-arrays packing of section III-E.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .dofmap import DofMap
+from .mesh import Mesh
+from .quadrature import TensorQuadrature
+from .reference import LagrangeQuad
+
+
+class FunctionSpace:
+    """Scalar Qk space on a (possibly non-conforming) rectangle mesh.
+
+    Parameters
+    ----------
+    mesh:
+        the velocity-space mesh.
+    order:
+        polynomial order k (Q3 = the paper's default).
+    quad_order:
+        1D quadrature points per direction; defaults to ``k+1`` so that
+        ``N_q = N_b`` ("tensor elements" with 16 IPs for Q3).
+    """
+
+    def __init__(self, mesh: Mesh, order: int = 3, quad_order: int | None = None):
+        self.mesh = mesh
+        self.element = LagrangeQuad(order)
+        self.quadrature = TensorQuadrature(quad_order or (order + 1))
+        self.dofmap = DofMap(mesh, self.element)
+
+        # reference tabulation: B (nq, nb), Dref (nq, nb, 2)
+        self.B, self.Dref = self.element.tabulate(self.quadrature.points)
+        self.nq = self.quadrature.npoints
+        self.nb = self.element.nnodes
+
+        # geometry at quadrature points
+        self.qpoints = mesh.map_to_physical(self.quadrature.points)  # (ne, nq, 2)
+        self.inv_jac, self.det_jac = mesh.jacobians()  # (ne, 2), (ne,)
+        # combined weight: quadrature weight * |J| * cylindrical r factor
+        self.qweights = (
+            self.quadrature.weights[None, :]
+            * self.det_jac[:, None]
+            * self.qpoints[:, :, 0]
+        )  # (ne, nq)
+
+    # --- sizes -----------------------------------------------------------------
+    @property
+    def nelem(self) -> int:
+        return self.mesh.nelem
+
+    @property
+    def ndofs(self) -> int:
+        """Number of free (unconstrained) degrees of freedom."""
+        return self.dofmap.n_free
+
+    @property
+    def n_integration_points(self) -> int:
+        """Global integration point count N = N_e * N_q (paper's N)."""
+        return self.nelem * self.nq
+
+    # --- evaluation --------------------------------------------------------------
+    def cell_dofs(self, x_free: np.ndarray) -> np.ndarray:
+        """Per-element nodal values ``(ne, nb)`` including constrained nodes."""
+        x_full = self.dofmap.expand(np.asarray(x_free, dtype=float))
+        return x_full[self.dofmap.cell_nodes]
+
+    def eval(self, x_free: np.ndarray) -> np.ndarray:
+        """Function values at all quadrature points, shape ``(ne, nq)``."""
+        fe = self.cell_dofs(x_free)
+        return np.einsum("qb,eb->eq", self.B, fe)
+
+    def eval_grad(self, x_free: np.ndarray) -> np.ndarray:
+        """Physical gradients at quadrature points, shape ``(ne, nq, 2)``."""
+        fe = self.cell_dofs(x_free)
+        g_ref = np.einsum("qbd,eb->eqd", self.Dref, fe)
+        return g_ref * self.inv_jac[:, None, :]
+
+    def eval_at(self, x_free: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Evaluate at arbitrary physical points (slow path, used in tests)."""
+        points = np.atleast_2d(points)
+        x_full = self.dofmap.expand(np.asarray(x_free, dtype=float))
+        out = np.empty(points.shape[0])
+        for i, p in enumerate(points):
+            e = self.mesh.element_containing(p)
+            if e < 0:
+                raise ValueError(f"point {p} outside mesh")
+            ref = 2.0 * (p - self.mesh.lower[e]) / self.mesh.size[e] - 1.0
+            B, _ = self.element.tabulate(ref[None, :])
+            out[i] = B[0] @ x_full[self.dofmap.cell_nodes[e]]
+        return out
+
+    # --- interpolation / projection ------------------------------------------------
+    def interpolate(self, func) -> np.ndarray:
+        """Nodal interpolant of ``func(r, z)`` as a free-space vector."""
+        return self.dofmap.interpolate(func)
+
+    def project(self, func) -> np.ndarray:
+        """Cylindrical-weighted L2 projection of ``func(r, z)``.
+
+        Solves ``M x = b`` with ``M`` the (r-weighted) mass matrix and
+        ``b_i = int r psi_i func``.
+        """
+        from .assembly import assemble_mass  # local import to avoid a cycle
+
+        M = assemble_mass(self)
+        vals = func(self.qpoints[:, :, 0], self.qpoints[:, :, 1])
+        b_full = np.zeros(self.dofmap.n_full)
+        contrib = np.einsum("eq,qb->eb", self.qweights * vals, self.B)
+        np.add.at(b_full, self.dofmap.cell_nodes, contrib)
+        b = self.dofmap.reduce_vector(b_full)
+        return sp.linalg.spsolve(M.tocsc(), b)
+
+    def integrate(self, values_at_q: np.ndarray) -> float:
+        """Integrate point data ``(ne, nq)`` with the cylindrical measure
+        (without the 2*pi azimuthal factor)."""
+        return float(np.sum(self.qweights * values_at_q))
+
+    # --- SoA packing for the GPU-model kernels -----------------------------------
+    def pack_ip_data(self, fields: list[np.ndarray]) -> dict[str, np.ndarray]:
+        """Pack quadrature data into flat structure-of-arrays vectors.
+
+        Parameters
+        ----------
+        fields:
+            one free-space coefficient vector per species.
+
+        Returns
+        -------
+        dict with ``r``, ``z``, ``w`` of shape ``(N,)``, ``f`` of shape
+        ``(S, N)`` and ``df`` of shape ``(2, S, N)`` — the arrays fed to
+        Algorithm 1 (``N = ne * nq``, element-major).
+        """
+        N = self.n_integration_points
+        S = len(fields)
+        r = self.qpoints[:, :, 0].reshape(N)
+        z = self.qpoints[:, :, 1].reshape(N)
+        w = self.qweights.reshape(N)
+        f = np.empty((S, N))
+        df = np.empty((2, S, N))
+        for s, x in enumerate(fields):
+            f[s] = self.eval(x).reshape(N)
+            g = self.eval_grad(x)
+            df[0, s] = g[:, :, 0].reshape(N)
+            df[1, s] = g[:, :, 1].reshape(N)
+        return {"r": r, "z": z, "w": w, "f": f, "df": df}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FunctionSpace(Q{self.element.order}, ne={self.nelem}, "
+            f"ndofs={self.ndofs}, N={self.n_integration_points})"
+        )

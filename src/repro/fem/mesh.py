@@ -1,0 +1,122 @@
+"""Axis-aligned quadrilateral meshes of the (r, z) velocity half-plane.
+
+The velocity-space domain is ``[0, r_max] x [z_min, z_max]`` in units of the
+reference thermal velocity (the paper uses a typical domain size of five
+thermal-velocity units, Fig. 3).  All elements are axis-aligned rectangles —
+uniform structured grids and the non-conforming quadtree meshes produced by
+:mod:`repro.amr` are both of this form — which keeps the element geometry
+affine and the per-element Jacobian diagonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Mesh:
+    """A collection of axis-aligned rectangular elements.
+
+    Parameters
+    ----------
+    lower:
+        ``(nelem, 2)`` lower-left corner of each element ``(r0, z0)``.
+    size:
+        ``(nelem, 2)`` widths ``(hr, hz)`` of each element.
+    """
+
+    def __init__(self, lower: np.ndarray, size: np.ndarray):
+        self.lower = np.atleast_2d(np.asarray(lower, dtype=float))
+        self.size = np.atleast_2d(np.asarray(size, dtype=float))
+        if self.lower.shape != self.size.shape or self.lower.shape[1] != 2:
+            raise ValueError(
+                f"lower/size must both be (nelem, 2); got {self.lower.shape} and {self.size.shape}"
+            )
+        if np.any(self.size <= 0):
+            raise ValueError("all element sizes must be positive")
+        if np.any(self.lower[:, 0] < -1e-12):
+            raise ValueError("elements must lie in the r >= 0 half plane")
+
+    @property
+    def nelem(self) -> int:
+        return self.lower.shape[0]
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(r_min, r_max, z_min, z_max)`` of the mesh hull."""
+        upper = self.lower + self.size
+        return (
+            float(self.lower[:, 0].min()),
+            float(upper[:, 0].max()),
+            float(self.lower[:, 1].min()),
+            float(upper[:, 1].max()),
+        )
+
+    # --- geometry -------------------------------------------------------------
+    def map_to_physical(self, ref_points: np.ndarray) -> np.ndarray:
+        """Map reference-square points to physical coordinates per element.
+
+        Parameters
+        ----------
+        ref_points:
+            ``(np, 2)`` points on ``[-1, 1]^2``.
+
+        Returns
+        -------
+        ``(nelem, np, 2)`` physical coordinates.
+        """
+        ref = np.atleast_2d(np.asarray(ref_points, dtype=float))
+        # x = lower + (ref + 1)/2 * size, broadcast over elements
+        return self.lower[:, None, :] + (ref[None, :, :] + 1.0) * 0.5 * self.size[:, None, :]
+
+    def jacobians(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-element affine geometry factors.
+
+        Returns
+        -------
+        inv_jac:
+            ``(nelem, 2)`` diagonal of the inverse Jacobian ``d(ref)/d(phys)``
+            — i.e. ``2/hr`` and ``2/hz``.
+        det_jac:
+            ``(nelem,)`` determinant ``hr*hz/4`` of ``d(phys)/d(ref)``.
+        """
+        inv_jac = 2.0 / self.size
+        det_jac = self.size[:, 0] * self.size[:, 1] / 4.0
+        return inv_jac, det_jac
+
+    def element_containing(self, point: np.ndarray) -> int:
+        """Index of an element whose closed extent contains ``point`` (-1 if none)."""
+        p = np.asarray(point, dtype=float)
+        upper = self.lower + self.size
+        inside = np.all((self.lower <= p + 1e-12) & (p - 1e-12 <= upper), axis=1)
+        hits = np.nonzero(inside)[0]
+        return int(hits[0]) if hits.size else -1
+
+    # --- constructors ----------------------------------------------------------
+    @classmethod
+    def structured(
+        cls,
+        nr: int,
+        nz: int,
+        r_max: float,
+        z_min: float,
+        z_max: float,
+    ) -> "Mesh":
+        """Uniform ``nr x nz`` grid on ``[0, r_max] x [z_min, z_max]``."""
+        if nr < 1 or nz < 1:
+            raise ValueError(f"need at least one cell per direction, got {nr}x{nz}")
+        if r_max <= 0 or z_max <= z_min:
+            raise ValueError("invalid domain extents")
+        hr = r_max / nr
+        hz = (z_max - z_min) / nz
+        r0 = np.arange(nr) * hr
+        z0 = z_min + np.arange(nz) * hz
+        R0, Z0 = np.meshgrid(r0, z0, indexing="xy")
+        lower = np.column_stack([R0.ravel(), Z0.ravel()])
+        size = np.full_like(lower, 0.0)
+        size[:, 0] = hr
+        size[:, 1] = hz
+        return cls(lower, size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        b = self.bounds
+        return f"Mesh(nelem={self.nelem}, domain=[{b[0]:.3g},{b[1]:.3g}]x[{b[2]:.3g},{b[3]:.3g}])"

@@ -1,0 +1,70 @@
+"""Gauss-Legendre quadrature rules on the reference interval and square.
+
+The Landau solver uses tensor-product Gauss rules matched to the element
+order: a Qk element uses (k+1)x(k+1) points, e.g. Q3 has 16 integration
+points per element as in the paper (sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GaussLegendre1D:
+    """Gauss-Legendre rule with ``npoints`` nodes on ``[-1, 1]``.
+
+    Exact for polynomials of degree ``2*npoints - 1``.
+    """
+
+    npoints: int
+
+    def __post_init__(self) -> None:
+        if self.npoints < 1:
+            raise ValueError(f"need at least one point, got {self.npoints}")
+
+    @property
+    def points(self) -> np.ndarray:
+        pts, _ = np.polynomial.legendre.leggauss(self.npoints)
+        return pts
+
+    @property
+    def weights(self) -> np.ndarray:
+        _, wts = np.polynomial.legendre.leggauss(self.npoints)
+        return wts
+
+
+class TensorQuadrature:
+    """Tensor-product Gauss-Legendre rule on the reference square ``[-1,1]^2``.
+
+    Point ordering is lexicographic with the x (first) coordinate fastest,
+    matching the basis tabulation in :mod:`repro.fem.reference`.
+
+    Attributes
+    ----------
+    points:
+        ``(nq, 2)`` reference coordinates.
+    weights:
+        ``(nq,)`` quadrature weights (sum to 4, the reference-square area).
+    """
+
+    def __init__(self, npoints_1d: int):
+        if npoints_1d < 1:
+            raise ValueError(f"need at least one point per direction, got {npoints_1d}")
+        self.npoints_1d = npoints_1d
+        rule = GaussLegendre1D(npoints_1d)
+        x = rule.points
+        w = rule.weights
+        # lexicographic: index q = j*n + i -> (x[i], x[j]); x fastest
+        X, Y = np.meshgrid(x, x, indexing="xy")
+        self.points = np.column_stack([X.ravel(), Y.ravel()])
+        self.weights = np.outer(w, w).ravel()
+
+    @property
+    def npoints(self) -> int:
+        return self.npoints_1d**2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TensorQuadrature({self.npoints_1d}x{self.npoints_1d})"

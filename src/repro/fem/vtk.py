@@ -1,0 +1,109 @@
+"""Legacy-VTK output of meshes and fields (the Fig. 1/3 visualizations).
+
+The paper renders its meshes/distributions in VisIt; this writer produces
+ASCII legacy ``.vtk`` unstructured-grid files (quad cells, point data) that
+VisIt/ParaView open directly.  Each element is written with its own four
+corners (duplicated points at hanging interfaces — harmless for
+visualization and faithful to the non-conforming mesh; the interpolation
+artifacts the paper's figure captions mention come from exactly this
+linear-per-cell rendering).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from .function_space import FunctionSpace
+from .mesh import Mesh
+
+
+def mesh_to_vtk(mesh: Mesh, fields: dict[str, np.ndarray] | None = None) -> str:
+    """Serialize a mesh (+ optional per-cell data) to legacy VTK text."""
+    out = io.StringIO()
+    ne = mesh.nelem
+    out.write("# vtk DataFile Version 3.0\n")
+    out.write("repro Landau velocity-space mesh\nASCII\n")
+    out.write("DATASET UNSTRUCTURED_GRID\n")
+    out.write(f"POINTS {4 * ne} double\n")
+    upper = mesh.lower + mesh.size
+    for e in range(ne):
+        r0, z0 = mesh.lower[e]
+        r1, z1 = upper[e]
+        for (r, z) in ((r0, z0), (r1, z0), (r1, z1), (r0, z1)):
+            out.write(f"{r:.16g} {z:.16g} 0\n")
+    out.write(f"CELLS {ne} {5 * ne}\n")
+    for e in range(ne):
+        base = 4 * e
+        out.write(f"4 {base} {base + 1} {base + 2} {base + 3}\n")
+    out.write(f"CELL_TYPES {ne}\n")
+    out.write("9\n" * ne)  # VTK_QUAD
+    if fields:
+        out.write(f"CELL_DATA {ne}\n")
+        for name, data in fields.items():
+            data = np.asarray(data, dtype=float)
+            if data.shape != (ne,):
+                raise ValueError(
+                    f"cell field {name!r} must have shape ({ne},), got {data.shape}"
+                )
+            out.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+            out.write("\n".join(f"{v:.16g}" for v in data) + "\n")
+    return out.getvalue()
+
+
+def field_to_vtk(
+    fs: FunctionSpace, fields: dict[str, np.ndarray], refine: int = 1
+) -> str:
+    """Serialize FE fields sampled on each element's nodal lattice.
+
+    ``fields`` maps names to free-dof coefficient vectors.  Each element is
+    emitted as a ``(k*refine)`` x ``(k*refine)`` patch of sub-quads with
+    point data — enough to see the high-order structure that the linear
+    per-cell rendering of :func:`mesh_to_vtk` flattens.
+    """
+    if refine < 1:
+        raise ValueError(f"refine must be >= 1, got {refine}")
+    k = fs.element.order * refine
+    # reference lattice
+    t = np.linspace(-1.0, 1.0, k + 1)
+    X, Y = np.meshgrid(t, t, indexing="xy")
+    ref = np.column_stack([X.ravel(), Y.ravel()])
+    B, _ = fs.element.tabulate(ref)
+    npts = (k + 1) ** 2
+    ne = fs.nelem
+    phys = fs.mesh.map_to_physical(ref)  # (ne, npts, 2)
+
+    values = {}
+    for name, x in fields.items():
+        x = np.asarray(x, dtype=float)
+        if x.shape != (fs.ndofs,):
+            raise ValueError(
+                f"field {name!r} must have shape ({fs.ndofs},), got {x.shape}"
+            )
+        cd = fs.cell_dofs(x)  # (ne, nb)
+        values[name] = np.einsum("pb,eb->ep", B, cd)
+
+    out = io.StringIO()
+    out.write("# vtk DataFile Version 3.0\n")
+    out.write("repro Landau distribution\nASCII\n")
+    out.write("DATASET UNSTRUCTURED_GRID\n")
+    out.write(f"POINTS {ne * npts} double\n")
+    for e in range(ne):
+        for p in range(npts):
+            out.write(f"{phys[e, p, 0]:.16g} {phys[e, p, 1]:.16g} 0\n")
+    ncell = ne * k * k
+    out.write(f"CELLS {ncell} {5 * ncell}\n")
+    for e in range(ne):
+        base = e * npts
+        for j in range(k):
+            for i in range(k):
+                a = base + j * (k + 1) + i
+                out.write(f"4 {a} {a + 1} {a + k + 2} {a + k + 1}\n")
+    out.write(f"CELL_TYPES {ncell}\n")
+    out.write("9\n" * ncell)
+    out.write(f"POINT_DATA {ne * npts}\n")
+    for name, vals in values.items():
+        out.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+        out.write("\n".join(f"{v:.16g}" for v in vals.ravel()) + "\n")
+    return out.getvalue()

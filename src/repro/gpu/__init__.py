@@ -1,0 +1,32 @@
+"""A functional simulator of the CUDA programming model, instrumented with
+exact work counters, plus device descriptions and an Nsight-Compute-style
+profiler.
+
+The paper's Algorithm 1 is expressed against this model exactly as it is
+against CUDA: a kernel launches over a grid of thread blocks (one element
+per block / SM), each block has an (x, y) thread layout, shared memory,
+barriers, warp-shuffle reductions and atomic adds.  Execution here is SIMT
+with numpy-vectorized lanes, so results are bit-identical (up to fp
+reassociation) to the CPU reference, while the counters record every FP64
+instruction (FMA/MUL/ADD/special), every byte of DRAM and shared-memory
+traffic, every atomic, shuffle and barrier — the inputs to the roofline
+analysis of Table IV and the device time model behind Tables II-VIII.
+"""
+
+from .counters import Counters
+from .device import DeviceSpec, V100, MI100, A64FX
+from .machine import CudaMachine, ThreadBlock
+from .profiler import KernelProfile, profile_kernel, roofline_report
+
+__all__ = [
+    "Counters",
+    "DeviceSpec",
+    "V100",
+    "MI100",
+    "A64FX",
+    "CudaMachine",
+    "ThreadBlock",
+    "KernelProfile",
+    "profile_kernel",
+    "roofline_report",
+]

@@ -1,0 +1,154 @@
+"""Device descriptions for the performance model.
+
+Peak numbers come from vendor specifications quoted in the paper (section
+V-A1 and V-D1); the behavioural parameters (achievable pipe utilization,
+memory efficiency, atomics penalty, launch overhead) are calibrated to the
+paper's own measurements and documented field by field — the *model*
+derives every table entry from work counters and these constants, no table
+value is hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One accelerator (or manycore vector processor treated as one).
+
+    Attributes
+    ----------
+    name:
+        device name.
+    sm_count:
+        streaming multiprocessors (V100) / compute units (MI100) / cores.
+    warp_size:
+        threads per warp (64 on AMD wavefronts, 8 vector lanes on A64FX).
+    peak_fp64_tflops:
+        DFMA peak in TFlop/s.
+    dram_peak_gbs:
+        DRAM bandwidth peak in GB/s.
+    max_threads_per_block:
+        CUDA limit (the Landau kernel uses <= 256).
+    pipe_utilization:
+        achievable fraction of the FP64 issue-slot peak for a well-tuned
+        compute-bound kernel (V100 measured 66.4% in the paper).
+    mem_efficiency:
+        achievable fraction of DRAM peak for streaming access.
+    l1_peak_gbs:
+        aggregate L1/shared throughput peak.
+    l1_efficiency:
+        achievable L1 fraction for the imbalanced assembly kernels (the
+        paper measured 27% on the mass kernel due to constrained-face load
+        imbalance and early-exit threads).
+    fp64_global_atomics:
+        hardware FP64 atomic add in global memory (V100 yes, MI100 no —
+        a significant source of MI100 under-performance, section V-D1).
+    atomic_ns:
+        effective cost of one FP64 global atomic add (ns); much larger when
+        emulated via CAS loops.
+    kernel_launch_us:
+        per-launch overhead in microseconds.
+    atomic_l1_hit:
+        fraction of atomic read-modify-write traffic served by the cache
+        hierarchy rather than DRAM (the paper measured a 77% L1 hit rate on
+        the assembly-dominated mass kernel).
+    software_efficiency:
+        residual multiplier for toolchain maturity (ROCm on early Spock,
+        GNU auto-vectorization of Kokkos on A64FX).
+    """
+
+    name: str
+    sm_count: int
+    warp_size: int
+    peak_fp64_tflops: float
+    dram_peak_gbs: float
+    max_threads_per_block: int = 1024
+    pipe_utilization: float = 0.66
+    mem_efficiency: float = 0.80
+    l1_peak_gbs: float = 10_000.0
+    l1_efficiency: float = 0.27
+    fp64_global_atomics: bool = True
+    atomic_ns: float = 8.0
+    atomic_l1_hit: float = 0.77
+    kernel_launch_us: float = 6.0
+    software_efficiency: float = 1.0
+
+    @property
+    def peak_fp64_flops(self) -> float:
+        return self.peak_fp64_tflops * 1e12
+
+    @property
+    def peak_issue_slots(self) -> float:
+        """FP64 issue slots per second (each slot could be a 2-flop FMA)."""
+        return self.peak_fp64_flops / 2.0
+
+    @property
+    def roofline_knee(self) -> float:
+        """AI (flop/byte) where the roofline turns over: peak/bandwidth.
+
+        V100: 7.8e12 / 890e9 = 8.8, as quoted in section V-A1.
+        """
+        return self.peak_fp64_flops / (self.dram_peak_gbs * 1e9)
+
+
+# --- the paper's three devices -------------------------------------------------
+
+#: NVIDIA V100 (Summit): 80 SMs, 7.8 DP TFlop/s, 890 GB/s; the paper
+#: measured 66.4% FP64 pipe utilization on the Jacobian kernel.
+V100 = DeviceSpec(
+    name="V100",
+    sm_count=80,
+    warp_size=32,
+    peak_fp64_tflops=7.8,
+    dram_peak_gbs=890.0,
+    pipe_utilization=0.664,
+    mem_efficiency=0.80,
+    l1_peak_gbs=14_000.0,
+    l1_efficiency=0.27,
+    fp64_global_atomics=True,
+    atomic_ns=8.0,
+    kernel_launch_us=6.0,
+    software_efficiency=1.0,
+)
+
+#: AMD MI100 (Spock): 120 CUs, 11.5 DP TFlop/s peak, 1230 GB/s — but no
+#: hardware FP64 global atomics, more CUs to fill, and an immature ROCm at
+#: measurement time; the paper found the kernel ~5x slower than V100 after
+#: normalizing by peak (section V-D1), which these parameters reproduce.
+MI100 = DeviceSpec(
+    name="MI100",
+    sm_count=120,
+    warp_size=64,
+    peak_fp64_tflops=11.5,
+    dram_peak_gbs=1230.0,
+    pipe_utilization=0.30,
+    mem_efficiency=0.60,
+    l1_peak_gbs=12_000.0,
+    l1_efficiency=0.20,
+    fp64_global_atomics=False,
+    atomic_ns=60.0,
+    kernel_launch_us=10.0,
+    software_efficiency=0.55,
+)
+
+#: Fujitsu A64FX (Fugaku): 48 cores x 2 x 512-bit SVE, ~3.4 DP TFlop/s,
+#: 1024 GB/s HBM2.  Kokkos-OpenMP maps vector ranges to SVE lanes, but the
+#: GNU 8.2 auto-vectorization of Kokkos v3.4 was ineffective — the paper
+#: infers ~8.5x under-performance, captured in software_efficiency.
+A64FX = DeviceSpec(
+    name="A64FX",
+    sm_count=48,
+    warp_size=8,
+    peak_fp64_tflops=3.38,
+    dram_peak_gbs=1024.0,
+    pipe_utilization=0.70,
+    mem_efficiency=0.75,
+    l1_peak_gbs=8_000.0,
+    l1_efficiency=0.35,
+    fp64_global_atomics=True,
+    atomic_ns=25.0,
+    kernel_launch_us=1.0,  # OpenMP parallel region, not a device launch
+    software_efficiency=1.0 / 8.5,
+)

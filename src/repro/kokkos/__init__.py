@@ -1,0 +1,30 @@
+"""A Kokkos-style hierarchical parallelism API over the simulated machine.
+
+Kokkos implements the CUDA programming model portably: a *league* of team
+members maps to the CUDA block grid (or OpenMP threads), a *team* maps to a
+thread-block dimension, and *vector* ranges map to the remaining thread
+dimension (or SIMD lanes on vector processors).  This subpackage provides
+the TeamPolicy / parallel_for / parallel_reduce vocabulary used by the
+Kokkos version of the Landau kernel, plus the execution-space backends
+(Kokkos-CUDA, Kokkos-HIP, Kokkos-OpenMP) with their calibrated portability
+overheads.
+"""
+
+from .api import TeamPolicy, TeamMember, parallel_for, parallel_reduce
+from .backends import (
+    KokkosBackend,
+    KOKKOS_CUDA,
+    KOKKOS_HIP,
+    KOKKOS_OPENMP,
+)
+
+__all__ = [
+    "TeamPolicy",
+    "TeamMember",
+    "parallel_for",
+    "parallel_reduce",
+    "KokkosBackend",
+    "KOKKOS_CUDA",
+    "KOKKOS_HIP",
+    "KOKKOS_OPENMP",
+]

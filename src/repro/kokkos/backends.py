@@ -1,0 +1,74 @@
+"""Kokkos execution-space backends and their calibrated overheads.
+
+Kokkos generates the CUDA programming model on GPUs and OpenMP + SIMD
+lanes on manycore vector processors.  Portability is not free: the paper
+measures CUDA about 15% faster than Kokkos-CUDA end-to-end ("not unexpected
+nor unreasonable"), with the kernel itself ~10% slower (Table VII: 2.9 s vs
+3.2 s).  ``kernel_overhead`` captures that multiplier; the A64FX backend's
+poor auto-vectorization is carried by the device's ``software_efficiency``
+instead (it is a property of the GNU toolchain on that hardware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.counters import Counters
+from ..gpu.device import A64FX, MI100, V100, DeviceSpec
+from ..gpu.machine import CudaMachine
+
+
+@dataclass
+class KokkosBackend:
+    """One Kokkos execution space bound to a device model.
+
+    Attributes
+    ----------
+    name:
+        execution-space name (Kokkos-CUDA, Kokkos-HIP, Kokkos-OpenMP).
+    device:
+        the device the space executes on.
+    kernel_overhead:
+        multiplicative kernel-time penalty of the portable code path
+        relative to hand-written CUDA (Table VII: ~1.10 on V100).
+    maps_to_blocks:
+        True when league members map to CUDA/HIP blocks; False for the
+        OpenMP space, where league members map to host threads and vector
+        ranges to SIMD lanes.
+    """
+
+    name: str
+    device: DeviceSpec
+    kernel_overhead: float = 1.10
+    maps_to_blocks: bool = True
+    counters: Counters = field(default_factory=Counters)
+
+    def machine(self) -> CudaMachine:
+        """A simulator machine accumulating into this backend's counters."""
+        return CudaMachine(self.device, self.counters)
+
+    def reset(self) -> None:
+        self.counters.reset()
+
+
+#: Kokkos-CUDA on V100 — league -> blocks, ThreadVectorRange -> x threads.
+KOKKOS_CUDA = KokkosBackend(name="Kokkos-CUDA", device=V100, kernel_overhead=1.10)
+
+#: Kokkos-HIP on MI100 (Spock) — same mapping via HIP.
+KOKKOS_HIP = KokkosBackend(name="Kokkos-HIP", device=MI100, kernel_overhead=1.10)
+
+#: Kokkos-OpenMP on A64FX (Fugaku) — league members -> OpenMP threads,
+#: vector threads -> SVE lanes, two-level parallelism only.
+KOKKOS_OPENMP = KokkosBackend(
+    name="Kokkos-OpenMP", device=A64FX, kernel_overhead=1.0, maps_to_blocks=False
+)
+
+
+def fresh_backend(base: KokkosBackend) -> KokkosBackend:
+    """An independent copy with zeroed counters (for isolated profiling)."""
+    return KokkosBackend(
+        name=base.name,
+        device=base.device,
+        kernel_overhead=base.kernel_overhead,
+        maps_to_blocks=base.maps_to_blocks,
+    )

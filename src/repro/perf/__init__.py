@@ -1,0 +1,43 @@
+"""Performance experiments: node models, the MPS-style pipeline scheduler,
+and the generators for the paper's throughput and component-time tables
+(Tables II, III, V, VI, VII, VIII).
+
+The flow is always: (1) run the *functional* kernel simulator on the actual
+test problem to obtain exact work counters, (2) convert counters to device
+times with the calibrated device model, (3) convert CPU-side work (band LU
+factor/solve, metadata) to times with the node's core model, (4) feed the
+per-iteration component times into the pipeline model of many MPI ranks
+asynchronously sharing each GPU via MPS.  No table entry is hard-coded.
+"""
+
+from .nodes import NodeSpec, SUMMIT, SPOCK, FUGAKU, CoreSpec
+from .mps import MpsPipelineModel
+from .workload import LandauWorkload, build_paper_workload
+from .throughput import (
+    throughput_table,
+    summit_cuda_table,
+    summit_kokkos_table,
+    spock_hip_table,
+    fugaku_table,
+)
+from .components import component_times, component_table
+from .summary import summary_table
+
+__all__ = [
+    "NodeSpec",
+    "CoreSpec",
+    "SUMMIT",
+    "SPOCK",
+    "FUGAKU",
+    "MpsPipelineModel",
+    "LandauWorkload",
+    "build_paper_workload",
+    "throughput_table",
+    "summit_cuda_table",
+    "summit_kokkos_table",
+    "spock_hip_table",
+    "fugaku_table",
+    "component_times",
+    "component_table",
+    "summary_table",
+]

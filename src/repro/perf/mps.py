@@ -1,0 +1,97 @@
+"""MPS-style pipeline model of many MPI ranks sharing one GPU.
+
+The paper's harness runs one vertex solve per MPI rank, all ranks
+asynchronously launching kernels on their GPU; "NVIDIA's Multi-Process
+Service (MPS) system aids in scheduling the GPU with input from multiple
+streams".  The steady-state throughput of that pipeline is
+
+    rate(P) = min( P / (t_cpu(P) + t_gpu_eff(P)),  C / t_gpu_eff(P) )
+
+where ``P`` ranks each alternate CPU work (factor, solve, metadata — run
+on the rank's own core, inflated by the SMT slowdown when several ranks
+share a core) and GPU work; the device co-schedules up to ``C`` kernels
+(multiple 256-thread blocks fit per SM), and service degrades once more
+than ``C`` ranks contend:
+
+    t_gpu_eff(P) = t_gpu * (1 + contention * max(0, P - C)).
+
+A healthy MPS has small contention (Summit); on Spock "the AMD equivalent
+to MPS is not functioning well" — large contention reproduces the Table V
+rollover at 16 processes per GPU.  The paper also notes ~3x throughput from
+MPS itself; without MPS the model serializes kernels (C = 1, large
+contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .nodes import NodeSpec
+
+
+@dataclass
+class MpsPipelineModel:
+    """Throughput of one node running the asynchronous vertex-solve harness.
+
+    Parameters
+    ----------
+    node:
+        the machine (devices + cores + MPS behaviour).
+    t_gpu:
+        GPU kernel time per Newton iteration for a single rank (seconds).
+    t_cpu_base:
+        CPU time per Newton iteration at one thread per core (seconds).
+    """
+
+    node: NodeSpec
+    t_gpu: float
+    t_cpu_base: float
+
+    def gpu_service_time(self, ranks_per_gpu: int) -> float:
+        c = self.node.gpu_concurrency
+        over = max(0, ranks_per_gpu - c)
+        return self.t_gpu * (1.0 + self.node.mps_contention * over)
+
+    def per_gpu_rate(self, cores_per_gpu: int, procs_per_core: int) -> float:
+        """Newton iterations/second produced by one GPU's rank group."""
+        if cores_per_gpu < 1 or procs_per_core < 1:
+            raise ValueError("need at least one core and one process")
+        if cores_per_gpu > self.node.cores_per_gpu:
+            raise ValueError(
+                f"{self.node.name} has only {self.node.cores_per_gpu} cores per GPU"
+            )
+        P = cores_per_gpu * procs_per_core
+        t_cpu = self.t_cpu_base * self.node.core.slowdown(procs_per_core)
+        t_gpu = self.gpu_service_time(P)
+        pipeline = P / (t_cpu + t_gpu)
+        gpu_cap = self.node.gpu_concurrency / t_gpu if t_gpu > 0 else float("inf")
+        return min(pipeline, gpu_cap)
+
+    def node_rate(self, cores_per_gpu: int, procs_per_core: int) -> float:
+        """Whole-node Newton iterations/second (the tables' cell values)."""
+        return self.node.gpus * self.per_gpu_rate(cores_per_gpu, procs_per_core)
+
+    def table(
+        self, cores_options: list[int], procs_options: list[int]
+    ) -> list[list[float]]:
+        """The Table II/III/V layout: rows = procs/core, cols = cores/GPU."""
+        return [
+            [self.node_rate(c, p) for c in cores_options] for p in procs_options
+        ]
+
+    def without_mps(self) -> "MpsPipelineModel":
+        """The ablated scheduler: no MPS means each process gets a private,
+        time-sliced context — kernels fully serialize and context switches
+        add contention.  The paper informally observed "a throughput
+        speedup ... of about 3x with the use of MPS" on high-rank cases.
+        """
+        from dataclasses import replace
+
+        node = replace(
+            self.node,
+            gpu_concurrency=1,
+            mps_contention=max(0.05, 2.0 * self.node.mps_contention),
+        )
+        return MpsPipelineModel(
+            node=node, t_gpu=self.t_gpu, t_cpu_base=self.t_cpu_base
+        )

@@ -1,0 +1,25 @@
+"""The Vlasov-Poisson-Landau thermal quench model (section IV).
+
+Spitzer resistivity (verification, Fig. 4), the Connor-Hastie critical
+field, the cold-plasma injection source, and the phase-switching quench
+driver that produces the Fig. 5 profiles (n_e, J, E, T_e vs time).
+"""
+
+from .spitzer import F_Z, spitzer_eta_si, spitzer_eta_code, spitzer_table
+from .runaway import connor_hastie_field_si, connor_hastie_field_code, dreicer_field_si
+from .source import ColdPlasmaSource
+from .model import ThermalQuenchModel, QuenchHistory, measure_resistivity
+
+__all__ = [
+    "F_Z",
+    "spitzer_eta_si",
+    "spitzer_eta_code",
+    "spitzer_table",
+    "connor_hastie_field_si",
+    "connor_hastie_field_code",
+    "dreicer_field_si",
+    "ColdPlasmaSource",
+    "ThermalQuenchModel",
+    "QuenchHistory",
+    "measure_resistivity",
+]

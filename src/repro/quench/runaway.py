@@ -1,0 +1,65 @@
+"""Runaway-electron critical fields (section IV, references [28], [29]).
+
+The Connor-Hastie critical field is the field below which no electron can
+run away (collisional drag at v -> c exceeds acceleration):
+
+    E_c = n_e e^3 ln(Lambda) / (4 pi eps0^2 m_e c^2)
+
+The Dreicer field, at which the *bulk* runs away, is larger by
+``(c / v_te)^2``:
+
+    E_D = n_e e^3 ln(Lambda) / (4 pi eps0^2 k_B T_e)
+
+The Fig. 5 experiment starts from ``E = 0.5 E_c``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import constants as c
+from ..units import UnitSystem
+
+
+def connor_hastie_field_si(
+    n_e: float, coulomb_log: float = c.COULOMB_LOG
+) -> float:
+    """E_c in V/m for electron density ``n_e`` in m^-3."""
+    if n_e <= 0:
+        raise ValueError(f"density must be positive, got {n_e}")
+    return (
+        n_e
+        * c.ELECTRON_CHARGE**3
+        * coulomb_log
+        / (
+            4.0
+            * math.pi
+            * c.VACUUM_PERMITTIVITY**2
+            * c.ELECTRON_MASS
+            * c.SPEED_OF_LIGHT**2
+        )
+    )
+
+
+def dreicer_field_si(
+    n_e: float, Te_ev: float, coulomb_log: float = c.COULOMB_LOG
+) -> float:
+    """Dreicer field in V/m: ``E_D = E_c (c/v_te)^2 * 2`` form."""
+    if Te_ev <= 0:
+        raise ValueError(f"temperature must be positive, got {Te_ev}")
+    kT = Te_ev * c.EV
+    return (
+        n_e
+        * c.ELECTRON_CHARGE**3
+        * coulomb_log
+        / (4.0 * math.pi * c.VACUUM_PERMITTIVITY**2 * kT)
+    )
+
+
+def connor_hastie_field_code(
+    units: UnitSystem, n_e_code: float = 1.0
+) -> float:
+    """E_c in code field units for a density in units of n0."""
+    return units.efield_to_code(
+        connor_hastie_field_si(n_e_code * units.n0, units.coulomb_log)
+    )

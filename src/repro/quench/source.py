@@ -1,0 +1,100 @@
+"""Cold-plasma injection source for the thermal quench (section IV-C).
+
+"A pulse of cold ions is then injected with the source term in (4)" — the
+source is a cold Maxwellian in velocity space times a smooth sinusoidal
+pulse in time, injected quasineutrally (electrons + ions) so the plasma
+stays current-neutral; "the total mass injected by the model is five times
+the initial density".  The prescribed electron-density profile is therefore
+the sinusoidal ramp the paper shows conserved exactly in Fig. 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fem.function_space import FunctionSpace
+from ..core.maxwellian import maxwellian_rz
+from ..core.species import SpeciesSet
+
+
+@dataclass
+class ColdPlasmaSource:
+    """Quasineutral cold Maxwellian source with a sin^2 time pulse.
+
+    Parameters
+    ----------
+    species:
+        the plasma species; the source feeds electrons (index 0) and the
+    	main-ion species (index 1) in charge balance.
+    total_injected:
+        total injected electron density in units of the *initial* electron
+        density (the paper injects 5x).
+    t_start, duration:
+        pulse window in code time units.
+    cold_temperature:
+        source temperature in units of T0 (must stay resolvable on the mesh).
+    """
+
+    species: SpeciesSet
+    total_injected: float = 5.0
+    t_start: float = 0.0
+    duration: float = 10.0
+    cold_temperature: float = 0.15
+
+    def rate(self, t: float) -> float:
+        """Instantaneous electron-density injection rate (sin^2 pulse).
+
+        Normalized so the time integral over the pulse equals
+        ``total_injected * n_e(0)``.
+        """
+        if t < self.t_start or t > self.t_start + self.duration:
+            return 0.0
+        n_e0 = self.species[0].density
+        amp = 2.0 * self.total_injected * n_e0 / self.duration
+        x = (t - self.t_start) / self.duration
+        return amp * math.sin(math.pi * x) ** 2
+
+    def injected_by(self, t: float) -> float:
+        """Cumulative injected electron density at time ``t`` (analytic)."""
+        n_e0 = self.species[0].density
+        if t <= self.t_start:
+            return 0.0
+        x = min((t - self.t_start) / self.duration, 1.0)
+        # integral of 2/d sin^2(pi x) dt from 0 to x*d = x - sin(2 pi x)/(2 pi)
+        return self.total_injected * n_e0 * (x - math.sin(2.0 * math.pi * x) / (2.0 * math.pi))
+
+    def shape_vectors(self, fs: FunctionSpace) -> list[np.ndarray | None]:
+        """Unit-rate weak-form source vectors ``(psi, S_a)`` per species.
+
+        The electron source has unit density rate; the ion source rate is
+        ``1/Z_ion`` so injection is quasineutral.  Species beyond the first
+        two receive no source.
+        """
+        e = self.species[0]
+        ion = self.species[1] if len(self.species) > 1 else None
+        vth_e = math.sqrt(math.pi) / 2.0 * math.sqrt(self.cold_temperature / e.mass)
+        out: list[np.ndarray | None] = []
+        b_e = self._weak_vector(fs, vth_e, 1.0)
+        out.append(b_e)
+        if ion is not None:
+            vth_i = (
+                math.sqrt(math.pi)
+                / 2.0
+                * math.sqrt(self.cold_temperature / ion.mass)
+            )
+            out.append(self._weak_vector(fs, vth_i, 1.0 / ion.charge))
+            out.extend([None] * (len(self.species) - 2))
+        return out
+
+    @staticmethod
+    def _weak_vector(fs: FunctionSpace, vth: float, density: float) -> np.ndarray:
+        vals = maxwellian_rz(
+            fs.qpoints[:, :, 0], fs.qpoints[:, :, 1], density=density, thermal_velocity=vth
+        )
+        b_full = np.zeros(fs.dofmap.n_full)
+        contrib = np.einsum("eq,qb->eb", fs.qweights * vals, fs.B)
+        np.add.at(b_full, fs.dofmap.cell_nodes, contrib)
+        return fs.dofmap.reduce_vector(b_full)

@@ -1,0 +1,66 @@
+"""Spitzer resistivity (eq. 12, section IV-A).
+
+The classic parallel resistivity of a collisional plasma:
+
+    eta = (4 sqrt(2 pi) / 3) * Z e^2 sqrt(m_e) ln(Lambda) F(Z)
+          / ((4 pi eps0)^2 (k_B T_e)^(3/2))
+
+    F(Z) = (1 + 1.198 Z + 0.222 Z^2) / (1 + 2.966 Z + 0.753 Z^2)
+
+The FP-Landau code should approximately converge to this (the paper
+observes its deuterium plasma settling about 1% *below* Spitzer).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .. import constants as c
+from ..units import UnitSystem
+
+
+def F_Z(Z: float) -> float:
+    """Neoclassical-style charge correction factor of eq. (12)."""
+    if Z <= 0:
+        raise ValueError(f"Z must be positive, got {Z}")
+    return (1.0 + 1.198 * Z + 0.222 * Z * Z) / (1.0 + 2.966 * Z + 0.753 * Z * Z)
+
+
+def spitzer_eta_si(
+    Te_ev: float, Z: float, coulomb_log: float = c.COULOMB_LOG
+) -> float:
+    """Parallel Spitzer resistivity in ohm-metres; ``Te`` in eV."""
+    if Te_ev <= 0:
+        raise ValueError(f"temperature must be positive, got {Te_ev}")
+    kT = Te_ev * c.EV  # k_B T_e in joules
+    num = (
+        (4.0 * math.sqrt(2.0 * math.pi) / 3.0)
+        * Z
+        * c.ELECTRON_CHARGE**2
+        * math.sqrt(c.ELECTRON_MASS)
+        * coulomb_log
+        * F_Z(Z)
+    )
+    den = (4.0 * math.pi * c.VACUUM_PERMITTIVITY) ** 2 * kT**1.5
+    return num / den
+
+
+def spitzer_eta_code(
+    units: UnitSystem, Te_over_T0: float, Z: float
+) -> float:
+    """Spitzer resistivity in code units (``eta~ = E~ / J~``).
+
+    ``Te_over_T0`` is the electron temperature in units of the reference
+    temperature that anchors the unit system.  Note the Coulomb-logarithm
+    dependence cancels between the SI value and the time normalization.
+    """
+    eta_si = spitzer_eta_si(Te_over_T0 * units.T0_ev, Z, units.coulomb_log)
+    return units.resistivity_to_code(eta_si)
+
+
+def spitzer_table(units: UnitSystem, Zs: list[float]) -> list[dict[str, float]]:
+    """Reference rows for the Fig. 4 comparison at ``T_e = T0``."""
+    return [
+        {"Z": Z, "F_Z": F_Z(Z), "eta_spitzer_code": spitzer_eta_code(units, 1.0, Z)}
+        for Z in Zs
+    ]

@@ -1,0 +1,85 @@
+"""ASCII tables and line plots for examples and benchmark output.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    floatfmt: str = "{:,.4g}",
+) -> str:
+    """Simple fixed-width table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(
+            [
+                floatfmt.format(v) if isinstance(v, float) else f"{v}"
+                for v in row
+            ]
+        )
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(cells):
+        lines.append("  ".join(s.rjust(w) for s, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+    logy: bool = False,
+) -> str:
+    """Plot one or more series against x as ASCII art (Fig. 4 / Fig. 5)."""
+    if not series:
+        raise ValueError("need at least one series")
+    marks = "*+o#@%&"
+    xs = list(x)
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    ys_all = []
+    for vals in series.values():
+        if len(vals) != len(xs):
+            raise ValueError("series length mismatch")
+        ys_all.extend(float(v) for v in vals)
+    if logy:
+        ys_all = [math.log10(abs(v)) if v != 0 else -16.0 for v in ys_all]
+    ymin, ymax = min(ys_all), max(ys_all)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vals) in enumerate(series.items()):
+        m = marks[si % len(marks)]
+        for xv, yv in zip(xs, vals):
+            if logy:
+                yv = math.log10(abs(yv)) if yv != 0 else -16.0
+            col = int((xv - xmin) / (xmax - xmin) * (width - 1))
+            row = int((yv - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = m
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y in [{ymin:.4g}, {ymax:.4g}]" + (" (log10)" if logy else ""))
+    lines.extend("|" + "".join(r) for r in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x in [{xmin:.4g}, {xmax:.4g}]")
+    legend = "   ".join(
+        f"{marks[i % len(marks)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Sparse matrix substrate: a PETSc-style CSR matrix with ``MatSetValues``
+semantics, a GPU-style COO assembly path, graph-coloring contention-free
+assembly, and the custom RCM-ordered band LU solver of section III-G.
+"""
+
+from .csr import PetscLikeMat
+from .coo import CooAssembler
+from .coloring import color_elements, colored_assembly_plan
+from .band import (
+    BandMatrix,
+    BandSolver,
+    band_factor,
+    band_solve,
+    band_solver_factory,
+    BlockDiagonalBandSolver,
+    rcm_permutation,
+    bandwidth,
+)
+from .band_gpu import GpuBandSolver
+from .iterative import (
+    BlockJacobiPreconditioner,
+    gmres,
+    landau_iterative_solver_factory,
+)
+
+__all__ = [
+    "PetscLikeMat",
+    "CooAssembler",
+    "color_elements",
+    "colored_assembly_plan",
+    "BandMatrix",
+    "BandSolver",
+    "band_factor",
+    "band_solve",
+    "band_solver_factory",
+    "BlockDiagonalBandSolver",
+    "rcm_permutation",
+    "bandwidth",
+    "GpuBandSolver",
+    "BlockJacobiPreconditioner",
+    "gmres",
+    "landau_iterative_solver_factory",
+]

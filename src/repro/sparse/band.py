@@ -1,0 +1,205 @@
+"""Custom band LU solver with RCM ordering (section III-G).
+
+SuperLU/MUMPS target much larger problems than the Landau matrices, so the
+paper wrote a custom band solver: reverse Cuthill-McKee ordering minimizes
+bandwidth (and "naturally produced a block diagonal matrix in multi-species
+problems"); band storage keeps the main diagonal plus ``UBW`` upper and
+``LBW`` lower diagonals (structurally symmetric Jacobians give
+``B = UBW = LBW``); the factorization is the standard outer-product banded
+LU (Golub & Van Loan, Algorithm 4.3.1) — each step ``k`` applies a
+``B x B`` rank-1 update ``A[k+1:, k] * A[k, k+1:]``.
+
+Storage is row-major diagonal-ordered: ``W[i, B + (j - i)] = A[i, j]`` for
+``|j - i| <= B``, so each row's in-band segment is contiguous and the
+rank-1 update is a sheared-window operation (implemented with a strided
+view — the vectorized analogue of the paper's CUDA kernel where threads
+sweep the update window).
+
+The multi-species block-diagonal structure (``I_S (x) A_1`` pattern) is
+exploited by :class:`BlockDiagonalBandSolver`, which factors each species
+block independently — the functional analogue of the paper's use of CUDA
+group synchronization to put several SMs on each species' factorization,
+and of the batched LU in the artifact repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+from numpy.lib.stride_tricks import as_strided
+from scipy.sparse.csgraph import connected_components, reverse_cuthill_mckee
+
+
+def rcm_permutation(A: sp.spmatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee ordering of the symmetrized pattern."""
+    return np.asarray(
+        reverse_cuthill_mckee(sp.csr_matrix(A), symmetric_mode=False), dtype=np.int64
+    )
+
+
+def bandwidth(A: sp.spmatrix) -> int:
+    """Half bandwidth ``max |i - j|`` over the nonzero pattern."""
+    coo = sp.coo_matrix(A)
+    if coo.nnz == 0:
+        return 0
+    return int(np.max(np.abs(coo.row - coo.col)))
+
+
+@dataclass
+class BandMatrix:
+    """Row-major diagonal-ordered band storage.
+
+    ``W`` has shape ``(n, 2B+1)`` with ``W[i, B + (j-i)] = A[i, j]``.
+    """
+
+    W: np.ndarray
+    B: int
+
+    @property
+    def n(self) -> int:
+        return self.W.shape[0]
+
+    @classmethod
+    def from_sparse(cls, A: sp.spmatrix, B: int | None = None) -> "BandMatrix":
+        A = sp.coo_matrix(A)
+        n = A.shape[0]
+        if A.shape[0] != A.shape[1]:
+            raise ValueError("band storage requires a square matrix")
+        if B is None:
+            B = bandwidth(A)
+        W = np.zeros((n, 2 * B + 1))
+        off = A.col - A.row
+        if np.any(np.abs(off) > B):
+            raise ValueError(f"entries outside half-bandwidth {B}")
+        np.add.at(W, (A.row, B + off), A.data)
+        return cls(W=W, B=B)
+
+    def to_dense(self) -> np.ndarray:
+        n, B = self.n, self.B
+        out = np.zeros((n, n))
+        for i in range(n):
+            j0 = max(0, i - B)
+            j1 = min(n, i + B + 1)
+            out[i, j0:j1] = self.W[i, B + (j0 - i) : B + (j1 - i)]
+        return out
+
+
+def band_factor(bm: BandMatrix, work_counter: dict | None = None) -> BandMatrix:
+    """In-place outer-product banded LU (GVL Alg. 4.3.1), no pivoting.
+
+    After return ``W`` holds ``U`` on and above the diagonal and the unit-
+    lower-triangular multipliers below it.  ``work_counter`` (optional dict)
+    accumulates ``flops`` for the performance model.
+    """
+    W, B = bm.W, bm.B
+    n = W.shape[0]
+    flops = 0
+    s0, s1 = W.strides
+    for k in range(n - 1):
+        piv = W[k, B]
+        if piv == 0.0:
+            raise ZeroDivisionError(f"zero pivot at step {k} (no pivoting)")
+        m = min(B, n - 1 - k)  # active sub-column length
+        if m == 0:
+            continue
+        # sheared window: V[d, c] = W[k+1+d, (B-1-d)+c] = A[k+1+d, k+c],
+        # d in [0, m), c in [0, B+1) — stays inside the band buffer because
+        # B-1-d+c >= B-m >= 0 and <= 2B.
+        V = as_strided(
+            W[k + 1 :, B - 1 :],
+            shape=(m, B + 1),
+            strides=(s0 - s1, s1),
+        )
+        # column below the pivot is V[:, 0]; pivot row segment is W[k, B:2B+1]
+        l = V[:, 0] / piv
+        V[:, 0] = l
+        u = W[k, B + 1 : 2 * B + 1]
+        V[:, 1:] -= np.outer(l, u)
+        flops += m + 2 * m * B
+    if work_counter is not None:
+        work_counter["flops"] = work_counter.get("flops", 0) + flops
+    return bm
+
+
+def band_solve(bm: BandMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` given the factored band matrix."""
+    W, B = bm.W, bm.B
+    n = W.shape[0]
+    x = np.asarray(b, dtype=float).copy()
+    if x.shape[0] != n:
+        raise ValueError(f"rhs length {x.shape[0]} != {n}")
+    # forward: L y = b (unit diagonal; multipliers stored below diagonal)
+    for i in range(1, n):
+        j0 = max(0, i - B)
+        seg = W[i, B + (j0 - i) : B]
+        x[i] -= seg @ x[j0:i]
+    # backward: U x = y
+    for i in range(n - 1, -1, -1):
+        j1 = min(n, i + B + 1)
+        seg = W[i, B + 1 : B + (j1 - i)]
+        x[i] = (x[i] - seg @ x[i + 1 : j1]) / W[i, B]
+    return x
+
+
+class BandSolver:
+    """RCM-permuted band LU solver for one sparse matrix."""
+
+    def __init__(self, A: sp.spmatrix, work_counter: dict | None = None):
+        A = sp.csr_matrix(A)
+        self.n = A.shape[0]
+        self.perm = rcm_permutation(A)
+        Ap = A[self.perm][:, self.perm]
+        self.B = bandwidth(Ap)
+        self.bm = band_factor(BandMatrix.from_sparse(Ap, self.B), work_counter)
+        self.iperm = np.empty_like(self.perm)
+        self.iperm[self.perm] = np.arange(self.n)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        y = band_solve(self.bm, np.asarray(b, dtype=float)[self.perm])
+        return y[self.iperm]
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        return self.solve(b)
+
+
+def band_solver_factory(A: sp.spmatrix):
+    """Factory with the solver-plug signature used by
+    :class:`repro.core.solver.ImplicitLandauSolver`."""
+    return BandSolver(A)
+
+
+class BlockDiagonalBandSolver:
+    """Batched band solver for block-diagonal (multi-species) systems.
+
+    RCM on the whole multi-species Jacobian "naturally produced a block
+    diagonal matrix"; here the independent diagonal blocks are discovered
+    as connected components of the pattern and factored separately —
+    species solves are independent, exactly the structure the paper's CUDA
+    solver exploits with group synchronization across SMs.
+    """
+
+    def __init__(self, A: sp.spmatrix, work_counter: dict | None = None):
+        A = sp.csr_matrix(A)
+        self.n = A.shape[0]
+        ncomp, labels = connected_components(A, directed=False)
+        self.blocks: list[tuple[np.ndarray, BandSolver]] = []
+        for c in range(ncomp):
+            idx = np.nonzero(labels == c)[0]
+            sub = A[idx][:, idx]
+            self.blocks.append((idx, BandSolver(sub, work_counter)))
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.blocks)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        b = np.asarray(b, dtype=float)
+        x = np.empty_like(b)
+        for idx, solver in self.blocks:
+            x[idx] = solver.solve(b[idx])
+        return x
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        return self.solve(b)

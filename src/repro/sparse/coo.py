@@ -1,0 +1,82 @@
+"""GPU-style COO matrix assembly (section III-F).
+
+PETSc's newer GPU assembly path preallocates the coordinate list of every
+element contribution once ("the COO interface does not require this CPU
+assembly stage"); each subsequent assembly is a pure value scatter followed
+by a duplicate reduction — exactly a device-side ``Thrust``/``Kokkos``
+sort-reduce.  This class reproduces that: construct with the static
+(row, col) pairs of all element blocks, then ``assemble(values)`` any number
+of times with new numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class CooAssembler:
+    """Preallocated COO assembly: fixed coordinates, repeated values.
+
+    Parameters
+    ----------
+    n:
+        matrix dimension.
+    rows, cols:
+        flat global coordinate arrays of *every* scheduled contribution
+        (duplicates allowed and expected — they are summed on assemble).
+    """
+
+    def __init__(self, n: int, rows: np.ndarray, cols: np.ndarray):
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise ValueError("rows/cols must be equal-length 1D arrays")
+        if rows.size and (rows.min() < 0 or rows.max() >= n or cols.min() < 0 or cols.max() >= n):
+            raise ValueError("coordinates out of range")
+        self.n = n
+        self.rows = rows
+        self.cols = cols
+        # precompute the merge: sorted order and unique-slot inverse map,
+        # so assemble() is a single scatter-add (the GPU reduce-by-key).
+        keys = rows * np.int64(n) + cols
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        self._inverse = inverse
+        self._nnz = uniq.size
+        self._out_rows = (uniq // n).astype(np.int64)
+        self._out_cols = (uniq % n).astype(np.int64)
+
+    @property
+    def ncontrib(self) -> int:
+        """Number of scheduled scalar contributions."""
+        return self.rows.size
+
+    @property
+    def nnz(self) -> int:
+        return int(self._nnz)
+
+    def assemble(self, values: np.ndarray) -> sp.csr_matrix:
+        """Sum ``values`` (aligned with the preallocated coordinates) into CSR."""
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size != self.rows.size:
+            raise ValueError(
+                f"expected {self.rows.size} values, got {values.size}"
+            )
+        data = np.zeros(self._nnz)
+        np.add.at(data, self._inverse, values)
+        return sp.csr_matrix(
+            (data, (self._out_rows, self._out_cols)), shape=(self.n, self.n)
+        )
+
+    @classmethod
+    def from_element_blocks(cls, n: int, cell_nodes: np.ndarray) -> "CooAssembler":
+        """Plan the assembly of dense per-element blocks.
+
+        ``cell_nodes`` is ``(ne, nb)``; values passed to :meth:`assemble`
+        must then be the flattened ``(ne, nb, nb)`` element matrices.
+        """
+        nodes = np.asarray(cell_nodes, dtype=np.int64)
+        ne, nb = nodes.shape
+        rows = np.repeat(nodes, nb, axis=1).ravel()
+        cols = np.tile(nodes, (1, nb)).ravel()
+        return cls(n, rows, cols)

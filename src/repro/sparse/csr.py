@@ -1,0 +1,117 @@
+"""A PETSc-style CSR matrix with ``MatSetValues`` insertion semantics.
+
+PETSc's traditional interface inserts dense element blocks with global row/
+column indices (``ADD_VALUES``).  As described in section III-F, the GPU
+version of this interface "currently requires the matrix to be assembled
+once on the CPU" — the first assembly discovers the nonzero pattern; after
+that the pattern (metadata) is frozen and subsequent assemblies only scatter
+values, which is the cheap GPU-friendly path whose cost is amortized over a
+transient analysis.  This class reproduces exactly that life cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class PetscLikeMat:
+    """Square sparse matrix with two-phase (CPU then GPU-style) assembly.
+
+    Phase 1 (pattern not frozen): ``set_values`` buffers COO triplets; the
+    first ``assemble()`` builds the CSR pattern and freezes it.
+
+    Phase 2 (pattern frozen): ``set_values`` writes straight into the CSR
+    value array through a precomputed slot map — no allocation, no index
+    merging; this is what a GPU assembly does after the CPU first pass.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"matrix dimension must be positive, got {n}")
+        self.n = n
+        self._rows: list[np.ndarray] = []
+        self._cols: list[np.ndarray] = []
+        self._vals: list[np.ndarray] = []
+        self._csr: sp.csr_matrix | None = None
+        self._frozen = False
+        #: running count of insertion calls (metadata for the perf model)
+        self.set_values_calls = 0
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def zero_entries(self) -> None:
+        """MatZeroEntries: keep the pattern, clear the values."""
+        if self._frozen:
+            self._csr.data[:] = 0.0
+        else:
+            self._rows.clear()
+            self._cols.clear()
+            self._vals.clear()
+
+    def set_values(self, rows, cols, block) -> None:
+        """Add a dense block: ``A[rows[i], cols[j]] += block[i, j]``."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        block = np.asarray(block, dtype=float)
+        if block.shape != (rows.size, cols.size):
+            raise ValueError(
+                f"block shape {block.shape} does not match ({rows.size}, {cols.size})"
+            )
+        self.set_values_calls += 1
+        rr = np.repeat(rows, cols.size)
+        cc = np.tile(cols, rows.size)
+        if self._frozen:
+            self._add_frozen(rr, cc, block.ravel())
+        else:
+            self._rows.append(rr)
+            self._cols.append(cc)
+            self._vals.append(block.ravel())
+
+    def _add_frozen(self, rr: np.ndarray, cc: np.ndarray, vv: np.ndarray) -> None:
+        # The frozen pattern's (row, col) pairs form a globally sorted key
+        # array (rows ascending, columns sorted within each row), so slot
+        # lookup is a single vectorized binary search.
+        keys = rr * self.n + cc
+        pos = np.searchsorted(self._keys, keys)
+        bad = (pos >= self._keys.size) | (self._keys[np.minimum(pos, self._keys.size - 1)] != keys)
+        if np.any(bad):
+            r, c = rr[bad][0], cc[bad][0]
+            raise KeyError(f"entry ({r}, {c}) is outside the frozen nonzero pattern")
+        np.add.at(self._csr.data, pos, vv)
+
+    def assemble(self) -> sp.csr_matrix:
+        """MatAssemblyBegin/End: return the CSR matrix, freezing the pattern
+        on the first call."""
+        if self._frozen:
+            return self._csr
+        if not self._rows:
+            self._csr = sp.csr_matrix((self.n, self.n))
+        else:
+            rows = np.concatenate(self._rows)
+            cols = np.concatenate(self._cols)
+            vals = np.concatenate(self._vals)
+            coo = sp.coo_matrix((vals, (rows, cols)), shape=(self.n, self.n))
+            self._csr = coo.tocsr()
+            self._csr.sum_duplicates()
+            self._csr.sort_indices()
+        rownum = np.repeat(
+            np.arange(self.n, dtype=np.int64), np.diff(self._csr.indptr)
+        )
+        self._keys = rownum * self.n + self._csr.indices.astype(np.int64)
+        self._frozen = True
+        self._rows.clear()
+        self._cols.clear()
+        self._vals.clear()
+        return self._csr
+
+    @property
+    def nnz(self) -> int:
+        if not self._frozen:
+            raise RuntimeError("matrix not assembled yet")
+        return int(self._csr.nnz)
+
+    def to_scipy(self) -> sp.csr_matrix:
+        return self.assemble().copy()

@@ -1,0 +1,103 @@
+"""AMR criteria and landau_mesh: the paper's grid economics (sec. III-B/H)."""
+
+import numpy as np
+import pytest
+
+from repro import constants as c
+from repro.amr import landau_mesh, maxwellian_refine, thermal_radius_levels
+from repro.amr.quadtree import QuadForest
+from repro.core import deuterium, electron
+from repro.fem import FunctionSpace
+
+VE = electron().thermal_velocity
+
+
+class TestThermalRadiusLevels:
+    def test_coarse_species_needs_no_levels(self):
+        assert thermal_radius_levels(5.0, 5.0) == 0
+
+    def test_levels_grow_logarithmically(self):
+        l1 = thermal_radius_levels(5.0, 0.1)
+        l2 = thermal_radius_levels(5.0, 0.05)
+        assert l2 == l1 + 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            thermal_radius_levels(5.0, 0.0)
+
+
+class TestMaxwellianRefine:
+    def test_refines_and_balances(self):
+        f = QuadForest(0, 5 * VE, -5 * VE, 5 * VE, trees_x=1, trees_y=2)
+        n = maxwellian_refine(f, [VE])
+        assert n > 0
+        assert f.is_balanced()
+
+    def test_smaller_species_refines_more(self):
+        f1 = QuadForest(0, 5 * VE, -5 * VE, 5 * VE, trees_x=1, trees_y=2)
+        maxwellian_refine(f1, [VE])
+        f2 = QuadForest(0, 5 * VE, -5 * VE, 5 * VE, trees_x=1, trees_y=2)
+        maxwellian_refine(f2, [VE, VE / 60.0])
+        assert f2.nleaves > f1.nleaves
+        assert f2.max_level > f1.max_level
+
+    def test_invalid_velocities(self):
+        f = QuadForest(0, 1, -1, 1)
+        with pytest.raises(ValueError):
+            maxwellian_refine(f, [])
+        with pytest.raises(ValueError):
+            maxwellian_refine(f, [-1.0])
+
+
+class TestLandauMesh:
+    def test_paper_single_species_20_cells(self):
+        """Fig. 3: 'Maxwellian with 20 cells and domain size 5 v_th'."""
+        m = landau_mesh([VE])
+        assert m.nelem == 20
+        r0, r1, z0, z1 = m.bounds
+        assert r1 == pytest.approx(5 * VE)
+        assert z0 == pytest.approx(-5 * VE)
+
+    def test_paper_ew_grid_near_74_cells(self):
+        """Sec. III-H: e + tungsten shared grid 'requires about 74 cells'."""
+        vw = VE / np.sqrt(c.TUNGSTEN_MASS_RATIO)
+        m = landau_mesh([VE, vw])
+        assert 64 <= m.nelem <= 96
+
+    def test_paper_vertex_count_exact(self):
+        """'The 20-cell grid generates 193 vertices' (Q3, constrained
+        vertices excluded) — we match the paper exactly."""
+        fs = FunctionSpace(landau_mesh([VE]), order=3)
+        assert fs.ndofs == 193
+
+    def test_resolution_where_it_matters(self):
+        """Cells near the origin resolve the smallest thermal velocity."""
+        vd = deuterium().thermal_velocity
+        m = landau_mesh([VE, vd])
+        near = m.size[np.hypot(m.lower[:, 0], np.abs(m.lower[:, 1])) < vd]
+        assert near.size > 0
+        assert near.max() <= 1.25 * vd * (1 + 1e-12)
+
+    def test_domain_factor(self):
+        m = landau_mesh([1.0], domain_factor=3.0)
+        assert m.bounds[1] == pytest.approx(3.0)
+
+    def test_cells_square(self):
+        m = landau_mesh([VE])
+        assert np.allclose(m.size[:, 0], m.size[:, 1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            landau_mesh([])
+
+    def test_integration_points_concentrate_at_core(self):
+        """'128 integration points in a radius of a bit over one thermal
+        radii' — ours gives 124 within 1.4 v_th."""
+        fs = FunctionSpace(landau_mesh([VE]), order=3)
+        v = np.hypot(fs.qpoints[:, :, 0], fs.qpoints[:, :, 1])
+        inside = int(np.sum(v <= 1.4 * VE))
+        assert 110 <= inside <= 140
+        # the origin cells are the smallest on the grid
+        d = np.hypot(fs.mesh.lower[:, 0], np.abs(fs.mesh.lower[:, 1]))
+        sizes = fs.mesh.size[:, 0]
+        assert sizes[np.argmin(d)] == sizes.min()

@@ -1,0 +1,143 @@
+"""The custom RCM band LU solver (section III-G)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse.band import (
+    BandMatrix,
+    BandSolver,
+    BlockDiagonalBandSolver,
+    band_factor,
+    band_solve,
+    bandwidth,
+    rcm_permutation,
+)
+
+
+def random_banded(n: int, B: int, seed: int = 0) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    A = sp.lil_matrix((n, n))
+    for i in range(n):
+        for j in range(max(0, i - B), min(n, i + B + 1)):
+            if rng.random() < 0.7 or i == j:
+                A[i, j] = rng.normal()
+    A = A.tocsr()
+    return (A + A.T + sp.eye(n) * (2 * B + 5)).tocsr()
+
+
+class TestBandStorage:
+    def test_roundtrip(self):
+        A = random_banded(20, 3)
+        bm = BandMatrix.from_sparse(A)
+        assert np.allclose(bm.to_dense(), A.toarray())
+
+    def test_bandwidth(self):
+        A = random_banded(20, 3)
+        assert bandwidth(A) <= 3
+
+    def test_outside_band_raises(self):
+        A = sp.csr_matrix(np.eye(5))
+        A = A.tolil()
+        A[0, 4] = 1.0
+        with pytest.raises(ValueError):
+            BandMatrix.from_sparse(A.tocsr(), B=2)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ValueError):
+            BandMatrix.from_sparse(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestFactorization:
+    def test_matches_dense_lu(self):
+        A = random_banded(25, 4, seed=1)
+        bm = band_factor(BandMatrix.from_sparse(A))
+        # reconstruct L and U from the band storage and compare products
+        n, B = bm.n, bm.B
+        dense = bm.to_dense()
+        L = np.tril(dense, -1) + np.eye(n)
+        U = np.triu(dense)
+        assert np.allclose(L @ U, A.toarray(), atol=1e-10)
+
+    def test_flop_counter(self):
+        A = random_banded(30, 3, seed=2)
+        counter: dict = {}
+        band_factor(BandMatrix.from_sparse(A), counter)
+        # 2 n B^2-ish
+        assert 0 < counter["flops"] < 4 * 30 * 9 + 30 * 3 + 100
+
+    def test_zero_pivot_raises(self):
+        A = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(ZeroDivisionError):
+            band_factor(BandMatrix.from_sparse(A))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=40),
+        B=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_solve_property(self, n, B, seed):
+        """A x = b round-trips for random diagonally dominant band systems."""
+        A = random_banded(n, min(B, n - 1), seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        x_true = rng.normal(size=n)
+        b = A @ x_true
+        bm = band_factor(BandMatrix.from_sparse(A))
+        x = band_solve(bm, b)
+        assert np.allclose(x, x_true, atol=1e-8)
+
+    def test_rhs_size_checked(self):
+        A = random_banded(10, 2)
+        bm = band_factor(BandMatrix.from_sparse(A))
+        with pytest.raises(ValueError):
+            band_solve(bm, np.ones(5))
+
+
+class TestRcmSolver:
+    def test_rcm_reduces_bandwidth(self):
+        rng = np.random.default_rng(4)
+        n = 60
+        perm0 = rng.permutation(n)
+        A = random_banded(n, 2, seed=4)
+        A_scrambled = A[perm0][:, perm0]
+        p = rcm_permutation(A_scrambled)
+        Ap = A_scrambled[p][:, p]
+        assert bandwidth(Ap) < bandwidth(A_scrambled)
+
+    def test_solver_correct(self):
+        A = random_banded(80, 5, seed=6)
+        rng = np.random.default_rng(7)
+        perm = rng.permutation(80)
+        A = A[perm][:, perm]
+        b = rng.normal(size=80)
+        x = BandSolver(A)(b)
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-10
+
+    def test_on_landau_system(self, electron_operator, electron_maxwellian):
+        """The band solver solves the real implicit Landau system."""
+        op = electron_operator
+        L = op.jacobian([electron_maxwellian])[0]
+        A = (op.mass_matrix - 0.1 * L).tocsr()
+        rng = np.random.default_rng(8)
+        b = rng.normal(size=A.shape[0])
+        x = BandSolver(A)(b)
+        assert np.linalg.norm(A @ x - b) / np.linalg.norm(b) < 1e-9
+
+
+class TestBlockDiagonal:
+    def test_discovers_species_blocks(self):
+        A = random_banded(30, 3, seed=9)
+        big = sp.block_diag([A, 2.0 * A, 0.5 * A]).tocsr()
+        solver = BlockDiagonalBandSolver(big)
+        assert solver.nblocks == 3
+
+    def test_solution_matches_monolithic(self):
+        A = random_banded(25, 3, seed=10)
+        big = sp.block_diag([A, 3.0 * A]).tocsr()
+        rng = np.random.default_rng(11)
+        b = rng.normal(size=50)
+        x = BlockDiagonalBandSolver(big)(b)
+        assert np.linalg.norm(big @ x - b) / np.linalg.norm(b) < 1e-10

@@ -1,0 +1,122 @@
+"""DoF maps: conforming numbering, hanging-node constraints, continuity."""
+
+import numpy as np
+import pytest
+
+from repro.amr import landau_mesh
+from repro.fem import DofMap, FunctionSpace, Mesh
+from repro.fem.reference import LagrangeQuad
+
+
+def two_level_mesh() -> Mesh:
+    """One coarse cell next to two fine cells (a single hanging edge)."""
+    lower = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 0.5]])
+    size = np.array([[1.0, 1.0], [0.5, 0.5], [0.5, 0.5]])
+    return Mesh(lower, size)
+
+
+class TestConforming:
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_structured_counts(self, order):
+        m = Mesh.structured(3, 2, 3.0, 0.0, 2.0)
+        dm = DofMap(m, LagrangeQuad(order))
+        expected = (3 * order + 1) * (2 * order + 1)
+        assert dm.n_full == expected
+        assert dm.n_free == expected
+        assert dm.n_constrained == 0
+
+    def test_prolongation_is_identity(self):
+        m = Mesh.structured(2, 2, 1.0, 0.0, 1.0)
+        dm = DofMap(m, LagrangeQuad(2))
+        P = dm.P.toarray()
+        assert np.allclose(P, np.eye(dm.n_full))
+
+    def test_shared_nodes_deduplicated(self):
+        m = Mesh.structured(2, 1, 2.0, 0.0, 1.0)
+        dm = DofMap(m, LagrangeQuad(3))
+        shared = set(dm.cell_nodes[0]) & set(dm.cell_nodes[1])
+        assert len(shared) == 4  # the common edge's 4 nodes
+
+
+class TestHanging:
+    @pytest.mark.parametrize("order,expected", [(1, 1), (2, 2), (3, 5)])
+    def test_constraint_counts(self, order, expected):
+        dm = DofMap(two_level_mesh(), LagrangeQuad(order))
+        # fine-side interface nodes (2*order+1) minus the 2 coarse corners,
+        # minus any fine node coinciding with a coarse GLL node (the Q2
+        # midpoint of the coarse edge coincides with the fine corner).
+        assert dm.n_constrained == expected
+
+    def test_constraint_weights_sum_to_one(self):
+        dm = DofMap(two_level_mesh(), LagrangeQuad(3))
+        P = dm.P.toarray()
+        assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_q3_constraints_have_four_targets(self):
+        """'...interpolate each matrix value associated with a constrained
+        degree of freedom to four degrees of freedom ... with Q3 elements'"""
+        dm = DofMap(two_level_mesh(), LagrangeQuad(3))
+        P = dm.P.tocsr()
+        free_set = set(dm.free_nodes.tolist())
+        for n in range(dm.n_full):
+            nnz = P.indptr[n + 1] - P.indptr[n]
+            if n in free_set:
+                assert nnz == 1
+            else:
+                assert 1 <= nnz <= 4
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_continuity_across_interface(self, order):
+        """A free-dof vector expands to a continuous function across the
+        hanging edge: fine-side trace equals coarse polynomial."""
+        mesh = two_level_mesh()
+        fs = FunctionSpace(mesh, order=order)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=fs.ndofs)
+        x_full = fs.dofmap.expand(x)
+        # evaluate along the interface r=1 from both sides
+        zs = np.linspace(0.51, 0.99, 7)
+        el = fs.element
+        for z in zs:
+            # coarse element 0: ref coords of (1, z)
+            ref0 = 2.0 * (np.array([1.0, z]) - mesh.lower[0]) / mesh.size[0] - 1.0
+            B0, _ = el.tabulate(ref0[None])
+            v0 = B0[0] @ x_full[fs.dofmap.cell_nodes[0]]
+            e1 = 2 if z > 0.5 else 1
+            ref1 = 2.0 * (np.array([1.0, z]) - mesh.lower[e1]) / mesh.size[e1] - 1.0
+            B1, _ = el.tabulate(ref1[None])
+            v1 = B1[0] @ x_full[fs.dofmap.cell_nodes[e1]]
+            assert v0 == pytest.approx(v1, abs=1e-11)
+
+    def test_interpolation_exact_for_polynomials(self):
+        """Expanding the interpolant of a degree-k polynomial matches the
+        polynomial at constrained nodes too."""
+        mesh = two_level_mesh()
+        fs = FunctionSpace(mesh, order=3)
+
+        def f(r, z):
+            return r**3 - r * z**2 + 2 * z**3 - z
+
+        x = fs.interpolate(f)
+        x_full = fs.dofmap.expand(x)
+        xy = fs.dofmap.node_coords
+        assert np.allclose(x_full, f(xy[:, 0], xy[:, 1]), atol=1e-11)
+
+
+class TestAmrMesh:
+    def test_paper_mesh_counts(self, small_mesh):
+        """The single-species grid: 20 cells, ~193 free vertices (paper)."""
+        dm = DofMap(small_mesh, LagrangeQuad(3))
+        assert small_mesh.nelem == 20
+        assert 180 <= dm.n_free <= 210
+        assert dm.n_constrained > 0
+
+    def test_deep_mesh_constraints_resolve(self):
+        """Tungsten-scale refinement produces long constraint chains that
+        must still resolve to free dofs."""
+        ve = np.sqrt(np.pi) / 2
+        mesh = landau_mesh([ve, ve / 600.0])
+        dm = DofMap(mesh, LagrangeQuad(2))
+        P = dm.P.toarray()
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert dm.n_free < dm.n_full

@@ -1,0 +1,94 @@
+"""Function space: evaluation, interpolation, projection, SoA packing."""
+
+import numpy as np
+import pytest
+
+from repro.fem import FunctionSpace, Mesh
+
+
+class TestEvaluation:
+    def test_cylindrical_weights(self, structured_fs):
+        """sum of qweights = int r dr dz over [0,2]x[-2,2] = 8."""
+        assert structured_fs.qweights.sum() == pytest.approx(8.0)
+
+    def test_interpolation_exact_cubic(self, structured_fs):
+        fs = structured_fs
+
+        def f(r, z):
+            return r**3 - 2 * r * z**2 + z**3 + 1.0
+
+        x = fs.interpolate(f)
+        vals = fs.eval(x)
+        exact = f(fs.qpoints[:, :, 0], fs.qpoints[:, :, 1])
+        assert np.allclose(vals, exact, atol=1e-12)
+
+    def test_gradient_exact_cubic(self, structured_fs):
+        fs = structured_fs
+        x = fs.interpolate(lambda r, z: r**3 - 2 * r * z**2 + z**3)
+        g = fs.eval_grad(x)
+        r, z = fs.qpoints[:, :, 0], fs.qpoints[:, :, 1]
+        assert np.allclose(g[:, :, 0], 3 * r**2 - 2 * z**2, atol=1e-11)
+        assert np.allclose(g[:, :, 1], -4 * r * z + 3 * z**2, atol=1e-11)
+
+    def test_eval_at_points(self, structured_fs):
+        fs = structured_fs
+        x = fs.interpolate(lambda r, z: r * z + 2.0)
+        pts = np.array([[0.3, 0.7], [1.9, -1.5]])
+        assert np.allclose(fs.eval_at(x, pts), pts[:, 0] * pts[:, 1] + 2.0)
+
+    def test_eval_at_outside_raises(self, structured_fs):
+        with pytest.raises(ValueError):
+            structured_fs.eval_at(
+                np.zeros(structured_fs.ndofs), np.array([[10.0, 0.0]])
+            )
+
+    def test_integrate(self, structured_fs):
+        fs = structured_fs
+        ones = np.ones_like(fs.qweights)
+        assert fs.integrate(ones) == pytest.approx(8.0)
+
+    def test_projection_reproduces_polynomial(self, structured_fs):
+        fs = structured_fs
+
+        def f(r, z):
+            return 2.0 * r**2 - z**3
+
+        x = fs.project(f)
+        pts = np.array([[0.5, 0.5], [1.2, -0.3]])
+        assert np.allclose(fs.eval_at(x, pts), f(pts[:, 0], pts[:, 1]), atol=1e-9)
+
+
+class TestSizes:
+    def test_tensor_element_nq_equals_nb(self, fs_q3):
+        """Q3 'tensor elements': 16 integration points = 16 basis fns."""
+        assert fs_q3.nq == 16
+        assert fs_q3.nb == 16
+        assert fs_q3.n_integration_points == fs_q3.nelem * 16
+
+    def test_custom_quadrature(self, small_mesh):
+        fs = FunctionSpace(small_mesh, order=2, quad_order=5)
+        assert fs.nq == 25
+        assert fs.nb == 9
+
+
+class TestPacking:
+    def test_pack_shapes(self, fs_q3):
+        x1 = fs_q3.interpolate(lambda r, z: np.exp(-(r**2) - z**2))
+        x2 = fs_q3.interpolate(lambda r, z: r * 0 + 1.0)
+        packed = fs_q3.pack_ip_data([x1, x2])
+        N = fs_q3.n_integration_points
+        assert packed["r"].shape == (N,)
+        assert packed["w"].shape == (N,)
+        assert packed["f"].shape == (2, N)
+        assert packed["df"].shape == (2, 2, N)
+
+    def test_pack_values_match_eval(self, fs_q3):
+        x = fs_q3.interpolate(lambda r, z: r**2 + z)
+        packed = fs_q3.pack_ip_data([x])
+        assert np.allclose(packed["f"][0], fs_q3.eval(x).ravel())
+        g = fs_q3.eval_grad(x)
+        assert np.allclose(packed["df"][0, 0], g[:, :, 0].ravel())
+        assert np.allclose(packed["df"][1, 0], g[:, :, 1].ravel())
+
+    def test_weights_positive(self, fs_q3):
+        assert np.all(fs_q3.qweights > 0)

@@ -1,0 +1,199 @@
+"""Grid-per-species-group machinery and the Table I cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import SpeciesSet, deuterium, electron, grid_cost_table, plan_grids
+from repro.core.grids import GridSet
+from repro.core.maxwellian import species_maxwellian
+from repro.core.species import tungsten_states
+
+
+@pytest.fixture(scope="module")
+def ten_species() -> SpeciesSet:
+    w = tungsten_states()
+    zw = sum(s.charge * s.density for s in w)
+    return SpeciesSet([electron(density=1.0 + zw), deuterium()] + w)
+
+
+class TestPlanGrids:
+    def test_clusters_by_thermal_velocity(self, ten_species):
+        groups = plan_grids(ten_species)
+        # e, D and the 8 tungsten states have well-separated v_th:
+        # 3 grids, tungsten states all share one
+        assert len(groups) == 3
+        assert groups[0] == [0]
+        assert groups[1] == [1]
+        assert sorted(groups[2]) == list(range(2, 10))
+
+    def test_single_species(self):
+        assert plan_grids(SpeciesSet([electron()])) == [[0]]
+
+    def test_max_ratio_validation(self, ten_species):
+        with pytest.raises(ValueError):
+            plan_grids(ten_species, max_ratio=0.5)
+
+    def test_loose_ratio_merges_everything(self, ten_species):
+        groups = plan_grids(ten_species, max_ratio=1e6)
+        assert len(groups) == 1
+
+
+class TestGridSet:
+    def test_table1_shape(self, ten_species):
+        """Table I: 3 grids beat 1 grid on equations and 10 grids on
+        Landau tensors."""
+        plans = [
+            [list(range(10))],  # 1 shared grid
+            plan_grids(ten_species),  # 3 grids
+            [[i] for i in range(10)],  # grid per species
+        ]
+        rows = grid_cost_table(ten_species, plans, order=3)
+        one, three, ten = rows
+        assert one["grids"] == 1 and three["grids"] == 3 and ten["grids"] == 10
+        # equations: shared grid pays ~4x over the clustered plan
+        assert one["equations"] > 3 * three["equations"]
+        assert three["equations"] == ten["equations"]
+        # tensors: per-species grids pay the most
+        assert ten["landau_tensors"] > 5 * three["landau_tensors"]
+        # the clustered plan has the fewest integration points
+        assert three["integration_points"] <= one["integration_points"]
+
+    def test_paper_magnitudes(self, ten_species):
+        """Our Table I row magnitudes track the paper's (1184/960/3200 IPs,
+        8050/1930/1930 equations) within a factor ~1.5."""
+        plans = [
+            [list(range(10))],
+            plan_grids(ten_species),
+            [[i] for i in range(10)],
+        ]
+        rows = grid_cost_table(ten_species, plans, order=3)
+        assert 900 <= rows[0]["integration_points"] <= 1800
+        assert 600 <= rows[1]["integration_points"] <= 1400
+        assert 2200 <= rows[2]["integration_points"] <= 4800
+        assert 5000 <= rows[0]["equations"] <= 12000
+        assert 1300 <= rows[1]["equations"] <= 2900
+
+    def test_groups_must_cover(self, ten_species):
+        with pytest.raises(ValueError):
+            GridSet(ten_species, groups=[[0, 1]])
+
+    def test_cross_grid_jacobian_matches_single_grid(self):
+        """A GridSet with one grid equals the plain LandauOperator."""
+        from repro.amr import landau_mesh
+        from repro.core import LandauOperator
+        from repro.fem import FunctionSpace
+
+        spc = SpeciesSet([electron()])
+        gs = GridSet(spc, groups=[[0]], order=2)
+        fields = {
+            0: gs.grids[0].fs.interpolate(species_maxwellian(spc[0]))
+        }
+        J_multi = gs.jacobian(fields)
+        op = LandauOperator(gs.grids[0].fs, spc)
+        J_single = op.jacobian([fields[0]])
+        assert np.allclose(
+            J_multi[0].toarray(), J_single[0].toarray(), atol=1e-12
+        )
+
+    def test_two_grid_conservation(self):
+        """Cross-grid collisions: total density of each species conserved
+        (each grid's own collision matrix has zero column... row sums against
+        the constant test function)."""
+        spc = SpeciesSet([electron(), deuterium()])
+        gs = GridSet(spc, order=2)
+        assert gs.ngrids == 2
+        fields = {
+            i: gs.grids[gs.grid_of_species(i)].fs.interpolate(
+                species_maxwellian(spc[i])
+            )
+            for i in range(2)
+        }
+        J = gs.jacobian(fields)
+        for i in range(2):
+            g = gs.grids[gs.grid_of_species(i)]
+            ones = np.ones(g.fs.ndofs)
+            Cf = J[i] @ fields[i]
+            assert abs(ones @ Cf) < 1e-8 * np.abs(Cf).sum()
+
+    def test_grid_of_species(self, ten_species):
+        gs_groups = plan_grids(ten_species)
+        gs = GridSet(ten_species, groups=gs_groups, order=2)
+        assert gs.grid_of_species(0) == 0
+        assert gs.grid_of_species(5) == 2
+        with pytest.raises(KeyError):
+            gs.grid_of_species(42)
+
+
+class TestMultiGridSolver:
+    def test_two_grid_equilibration(self):
+        """Hot electrons + cold light ions on separate grids: temperatures
+        converge, each species' density is conserved on its own grid."""
+        import math
+
+        from repro.core import Moments
+        from repro.core.grids import MultiGridImplicitSolver
+        from repro.core.species import Species
+
+        ion = Species("i", charge=1.0, mass=49.0, temperature=0.25)
+        spc = SpeciesSet([electron(), ion])
+        gs = GridSet(spc, groups=[[0], [1]], order=2)
+        assert gs.ngrids == 2
+        fields = {
+            i: gs.grids[gs.grid_of_species(i)].fs.interpolate(
+                species_maxwellian(spc[i])
+            )
+            for i in range(2)
+        }
+        mom = [
+            Moments(gs.grids[gs.grid_of_species(i)].fs, spc) for i in range(2)
+        ]
+        n0 = [
+            2 * math.pi * mom[i].fs.integrate(mom[i].fs.eval(fields[i]))
+            for i in range(2)
+        ]
+
+        def temp(i, x):
+            fs = gs.grids[gs.grid_of_species(i)].fs
+            fq = fs.eval(x)
+            r, z = fs.qpoints[:, :, 0], fs.qpoints[:, :, 1]
+            n = fs.integrate(fq)
+            return spc[i].mass * fs.integrate((r**2 + z**2) * fq) / (3 * n)
+
+        Te0, Ti0 = temp(0, fields[0]), temp(1, fields[1])
+        solver = MultiGridImplicitSolver(gs, rtol=1e-6)
+        fields = solver.integrate(fields, dt=1.0, nsteps=4)
+        Te1, Ti1 = temp(0, fields[0]), temp(1, fields[1])
+        assert Te1 < Te0  # electrons cool toward the cold ions
+        assert Ti1 > Ti0  # ions heat
+        for i in range(2):
+            fs = gs.grids[gs.grid_of_species(i)].fs
+            n1 = 2 * math.pi * fs.integrate(fs.eval(fields[i]))
+            assert n1 == pytest.approx(n0[i], rel=1e-9)
+
+    def test_matches_single_grid_dynamics(self):
+        """A one-group GridSet solver step equals ImplicitLandauSolver."""
+        import numpy as np
+
+        from repro.core import ImplicitLandauSolver, LandauOperator
+        from repro.core.grids import MultiGridImplicitSolver
+
+        spc = SpeciesSet([electron()])
+        gs = GridSet(spc, groups=[[0]], order=2)
+        fs = gs.grids[0].fs
+        f0 = fs.interpolate(
+            lambda r, z: np.exp(-((r / 0.6) ** 2) - (z / 1.1) ** 2)
+        )
+        mg = MultiGridImplicitSolver(gs, rtol=1e-9)
+        out = mg.step({0: f0}, 0.3)
+        op = LandauOperator(fs, spc)
+        ref = ImplicitLandauSolver(op, rtol=1e-9).step([f0], 0.3)[0]
+        assert np.allclose(out[0], ref, atol=1e-9 * max(np.abs(ref).max(), 1))
+
+    def test_dt_validation(self):
+        from repro.core.grids import MultiGridImplicitSolver
+
+        spc = SpeciesSet([electron()])
+        gs = GridSet(spc, groups=[[0]], order=2)
+        solver = MultiGridImplicitSolver(gs)
+        with pytest.raises(ValueError):
+            solver.step({0: gs.grids[0].fs.interpolate(lambda r, z: r * 0 + 1)}, -1.0)

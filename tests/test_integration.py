@@ -1,0 +1,134 @@
+"""End-to-end integration tests: small but complete physics scenarios
+exercising the full public API path (mesh -> space -> operator -> solver ->
+moments), plus electron-ion temperature equilibration direction and the
+GPU-kernel-in-the-loop solve.
+"""
+
+import numpy as np
+import pytest
+
+from repro.amr import landau_mesh
+from repro.core import (
+    ImplicitLandauSolver,
+    LandauOperator,
+    Moments,
+    SpeciesSet,
+    electron,
+)
+from repro.core.maxwellian import shifted_maxwellian_rz, species_maxwellian
+from repro.core.species import Species
+from repro.fem import FunctionSpace
+
+
+class TestTwoSpeciesRelaxation:
+    @pytest.fixture(scope="class")
+    def system(self):
+        """Electrons + a light 'ion' (mass 25) so equilibration is fast
+        enough to observe in a few collision times."""
+        ion = Species("i", charge=1.0, mass=25.0, temperature=0.25)
+        spc = SpeciesSet([electron(), ion])
+        mesh = landau_mesh([s.thermal_velocity for s in spc])
+        fs = FunctionSpace(mesh, order=3)
+        op = LandauOperator(fs, spc)
+        return fs, spc, op
+
+    def test_temperature_equilibration_direction(self, system):
+        """Hot electrons + cold ions: T_e falls, T_i rises, total energy
+        conserved."""
+        fs, spc, op = system
+        mom = Moments(fs, spc)
+        fields = [fs.interpolate(species_maxwellian(s)) for s in spc]
+        Te0 = mom.species_moments(0, fields[0]).temperature
+        Ti0 = mom.species_moments(1, fields[1]).temperature
+        E0 = mom.total_energy(fields)
+        solver = ImplicitLandauSolver(op, rtol=1e-7)
+        fields = solver.integrate(fields, dt=1.0, nsteps=6)
+        Te1 = mom.species_moments(0, fields[0]).temperature
+        Ti1 = mom.species_moments(1, fields[1]).temperature
+        assert Te1 < Te0
+        assert Ti1 > Ti0
+        assert mom.total_energy(fields) == pytest.approx(E0, rel=1e-5)
+
+    def test_drift_friction_direction(self, system):
+        """A drifting electron population slows against stationary ions;
+        total momentum is conserved (ions pick it up)."""
+        fs, spc, op = system
+        mom = Moments(fs, spc)
+        vth_e = spc[0].thermal_velocity
+        f_e = fs.interpolate(
+            lambda r, z: shifted_maxwellian_rz(r, z, 1.0, vth_e, drift_z=0.1)
+        )
+        f_i = fs.interpolate(species_maxwellian(spc[1]))
+        p0 = mom.total_momentum_z([f_e, f_i])
+        ue0 = mom.species_moments(0, f_e).drift_z
+        solver = ImplicitLandauSolver(op, rtol=1e-7)
+        fields = solver.integrate([f_e, f_i], dt=0.5, nsteps=5)
+        ue1 = mom.species_moments(0, fields[0]).drift_z
+        ui1 = mom.species_moments(1, fields[1]).drift_z
+        assert 0 < ue1 < ue0  # electron drift decays
+        assert ui1 > 0  # ions dragged along
+        assert mom.total_momentum_z(fields) == pytest.approx(p0, abs=2e-4)
+
+
+class TestGpuKernelInTheLoop:
+    def test_solver_with_gpu_built_jacobian(self, fs_q3, electron_species):
+        """A time step whose Jacobian comes from the simulated CUDA kernel
+        gives the same state as the reference path."""
+        import scipy.sparse as sp
+
+        from repro.core.kernel_cuda import CudaLandauJacobian
+
+        op = LandauOperator(fs_q3, electron_species)
+        ck = CudaLandauJacobian(fs_q3, electron_species)
+        f0 = fs_q3.interpolate(
+            lambda r, z: shifted_maxwellian_rz(r, z, 1.0, 0.8, drift_z=0.1)
+        )
+        dt = 0.25
+        M = op.mass_matrix
+
+        # reference quasi-Newton step
+        ref = ImplicitLandauSolver(op, rtol=1e-10)
+        f_ref = ref.step([f0], dt)[0]
+
+        # manual quasi-Newton sweep with the CUDA-model Jacobian
+        fk = f0.copy()
+        for _ in range(60):
+            L = sp.csr_matrix(ck.build([fk])[0])
+            from scipy.sparse.linalg import spsolve
+
+            fk1 = spsolve((M - dt * L).tocsc(), M @ f0)
+            if np.linalg.norm(fk1 - fk) < 1e-10 * np.linalg.norm(f0):
+                fk = fk1
+                break
+            fk = fk1
+        assert np.allclose(fk, f_ref, atol=1e-8)
+
+
+class TestIsotropization:
+    def test_entropy_increases(self, electron_operator, fs_q3):
+        """Discrete H-theorem behaviour: -int r f log f grows during
+        relaxation of an anisotropic state."""
+
+        def aniso(r, z):
+            vr, vz = 0.65, 1.15
+            return np.exp(-((r / vr) ** 2) - (z / vz) ** 2) / (
+                np.pi**1.5 * vr * vr * vz
+            )
+
+        f = fs_q3.interpolate(aniso)
+        solver = ImplicitLandauSolver(electron_operator, rtol=1e-8)
+
+        def entropy(x):
+            fq = np.maximum(fs_q3.eval(x), 1e-300)
+            return -fs_q3.integrate(fq * np.log(fq))
+
+        s0 = entropy(f)
+        f1 = solver.integrate([f], dt=0.5, nsteps=4)
+        s1 = entropy(f1[0])
+        f2 = solver.integrate(f1, dt=0.5, nsteps=4)
+        s2 = entropy(f2[0])
+        assert s1 > s0 + 0.01  # strong growth during relaxation
+        # near equilibrium the discrete entropy plateaus (up to quadrature
+        # noise from tiny negative undershoots); it must not decrease
+        # appreciably
+        assert s2 > s1 - 1e-3

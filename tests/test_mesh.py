@@ -1,0 +1,63 @@
+"""Mesh geometry: structured constructor, affine maps, Jacobians."""
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import Mesh
+
+
+class TestStructured:
+    def test_counts_and_bounds(self):
+        m = Mesh.structured(3, 4, 2.0, -1.0, 1.0)
+        assert m.nelem == 12
+        assert m.bounds == (0.0, 2.0, -1.0, 1.0)
+
+    def test_cell_sizes(self):
+        m = Mesh.structured(4, 2, 2.0, 0.0, 1.0)
+        assert np.allclose(m.size[:, 0], 0.5)
+        assert np.allclose(m.size[:, 1], 0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Mesh.structured(0, 1, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Mesh.structured(1, 1, -1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Mesh.structured(1, 1, 1.0, 2.0, 1.0)
+
+
+class TestGeometry:
+    def test_negative_r_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(np.array([[-0.5, 0.0]]), np.array([[1.0, 1.0]]))
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(np.array([[0.0, 0.0]]), np.array([[0.0, 1.0]]))
+
+    def test_map_to_physical_corners(self):
+        m = Mesh(np.array([[1.0, -2.0]]), np.array([[2.0, 4.0]]))
+        ref = np.array([[-1.0, -1.0], [1.0, 1.0], [0.0, 0.0]])
+        phys = m.map_to_physical(ref)
+        assert np.allclose(phys[0, 0], [1.0, -2.0])
+        assert np.allclose(phys[0, 1], [3.0, 2.0])
+        assert np.allclose(phys[0, 2], [2.0, 0.0])
+
+    def test_jacobians(self):
+        m = Mesh(np.array([[0.0, 0.0]]), np.array([[2.0, 4.0]]))
+        inv_jac, det = m.jacobians()
+        assert np.allclose(inv_jac[0], [1.0, 0.5])
+        assert det[0] == pytest.approx(2.0)
+
+    def test_element_containing(self):
+        m = Mesh.structured(2, 2, 2.0, 0.0, 2.0)
+        e = m.element_containing(np.array([1.5, 0.5]))
+        assert e >= 0
+        assert np.all(m.lower[e] <= [1.5, 0.5])
+        assert m.element_containing(np.array([5.0, 5.0])) == -1
+
+    def test_area_consistency(self):
+        m = Mesh.structured(3, 5, 1.5, -1.0, 2.0)
+        _, det = m.jacobians()
+        # sum of |J| * reference area (4) equals the domain area
+        assert np.sum(det) * 4.0 == pytest.approx(1.5 * 3.0)

@@ -1,0 +1,128 @@
+"""Moments, species data and Maxwellians (code-unit consistency)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import constants as c
+from repro.core import Moments, SpeciesSet, deuterium, electron
+from repro.core.maxwellian import (
+    maxwellian_rz,
+    shifted_maxwellian_rz,
+    species_maxwellian,
+)
+from repro.core.species import Species, hydrogenic, tungsten_states
+
+
+class TestSpecies:
+    def test_electron_thermal_velocity(self):
+        """v_th(e, T0) = sqrt(2kT0/m_e)/v0 = sqrt(pi)/2."""
+        assert electron().thermal_velocity == pytest.approx(math.sqrt(math.pi) / 2)
+
+    def test_mass_scalings(self):
+        assert deuterium().mass == pytest.approx(3670.48, rel=1e-3)
+        w = tungsten_states()[0]
+        assert w.mass == pytest.approx(c.TUNGSTEN_MASS_RATIO)
+
+    def test_thermal_velocity_scalings(self):
+        e, d = electron(), deuterium()
+        assert e.thermal_velocity / d.thermal_velocity == pytest.approx(
+            math.sqrt(d.mass), rel=1e-12
+        )
+        hot = e.with_temperature(4.0)
+        assert hot.thermal_velocity == pytest.approx(2 * e.thermal_velocity)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Species("bad", charge=1.0, mass=-1.0)
+        with pytest.raises(ValueError):
+            Species("bad", charge=1.0, mass=1.0, temperature=0.0)
+        with pytest.raises(ValueError):
+            SpeciesSet([])
+        with pytest.raises(ValueError):
+            SpeciesSet([electron(), electron()])
+
+    def test_quasineutral(self):
+        assert SpeciesSet([electron(), deuterium()]).quasineutral()
+        assert not SpeciesSet([electron(density=2.0), deuterium()]).quasineutral()
+        z = hydrogenic(4.0, density=0.25)
+        assert SpeciesSet([electron(), z]).quasineutral()
+
+    def test_tungsten_defaults(self):
+        ws = tungsten_states()
+        assert len(ws) == 8
+        assert len({w.charge for w in ws}) == 8
+        assert all(w.mass == ws[0].mass for w in ws)
+
+    def test_arrays(self):
+        spc = SpeciesSet([electron(), deuterium()])
+        assert np.allclose(spc.charges, [-1.0, 1.0])
+        assert spc.masses[1] > 1000
+
+
+class TestMaxwellian:
+    def test_normalization(self, fs_q3, electron_species, electron_moments):
+        """2 pi int r f = n to interpolation accuracy on the 20-cell grid."""
+        f = fs_q3.interpolate(species_maxwellian(electron_species[0]))
+        n = electron_moments.species_moments(0, f).density
+        assert n == pytest.approx(1.0, abs=5e-3)
+
+    def test_shift(self):
+        v = shifted_maxwellian_rz(0.0, 0.3, 1.0, 1.0, drift_z=0.3)
+        assert v == pytest.approx(maxwellian_rz(0.0, 0.0, 1.0, 1.0))
+
+    def test_invalid_vth(self):
+        with pytest.raises(ValueError):
+            maxwellian_rz(0.0, 0.0, 1.0, 0.0)
+
+
+class TestMoments:
+    def test_temperature_of_reference_maxwellian(
+        self, fs_q3, electron_species, electron_moments
+    ):
+        f = fs_q3.interpolate(species_maxwellian(electron_species[0]))
+        m = electron_moments.species_moments(0, f)
+        assert m.temperature == pytest.approx(1.0, abs=5e-3)
+        assert m.drift_z == pytest.approx(0.0, abs=1e-6)
+
+    def test_energy_of_maxwellian(self, fs_q3, electron_species, electron_moments):
+        """W = (3/2) n k T = (3/2)(pi/8) in code units at T = T0."""
+        f = fs_q3.interpolate(species_maxwellian(electron_species[0]))
+        m = electron_moments.species_moments(0, f)
+        assert m.energy == pytest.approx(1.5 * math.pi / 8.0, rel=5e-3)
+
+    def test_current_sign_convention(self, fs_q3, electron_species, electron_moments):
+        """Electrons drifting toward -z carry positive J_z."""
+        f = fs_q3.interpolate(
+            lambda r, z: shifted_maxwellian_rz(
+                r, z, 1.0, electron_species[0].thermal_velocity, drift_z=-0.05
+            )
+        )
+        assert electron_moments.current_z([f]) > 0
+
+    def test_drifting_temperature_subtracts_drift(
+        self, fs_q3, electron_species, electron_moments
+    ):
+        vth = electron_species[0].thermal_velocity
+        f0 = fs_q3.interpolate(lambda r, z: shifted_maxwellian_rz(r, z, 1.0, vth))
+        f1 = fs_q3.interpolate(
+            lambda r, z: shifted_maxwellian_rz(r, z, 1.0, vth, drift_z=0.1)
+        )
+        t0 = electron_moments.species_moments(0, f0).temperature
+        t1 = electron_moments.species_moments(0, f1).temperature
+        assert t1 == pytest.approx(t0, rel=2e-3)
+
+    def test_summary_keys(self, fs_q3, electron_moments, electron_maxwellian):
+        s = electron_moments.summary([electron_maxwellian])
+        assert set(s) == {"n_e", "J_z", "T_e", "p_z", "energy"}
+
+    def test_multispecies_current(self, ed_fs, ed_species):
+        mom = Moments(ed_fs, ed_species)
+        vth_e = ed_species[0].thermal_velocity
+        f_e = ed_fs.interpolate(
+            lambda r, z: shifted_maxwellian_rz(r, z, 1.0, vth_e, drift_z=-0.02)
+        )
+        f_d = ed_fs.interpolate(species_maxwellian(ed_species[1]))
+        J = mom.current_z([f_e, f_d])
+        assert J == pytest.approx(0.02, rel=0.05)

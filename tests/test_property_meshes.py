@@ -1,0 +1,100 @@
+"""Property-based tests over randomized mesh/refinement configurations:
+the FEM + AMR + constraint machinery must hold its invariants for any
+balanced forest, not just the curated fixtures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.amr.forest_mesh import forest_to_mesh
+from repro.amr.quadtree import QuadForest, Quadrant
+from repro.fem import DofMap, FunctionSpace, assemble_mass
+from repro.fem.reference import LagrangeQuad
+
+
+def random_balanced_forest(seed: int, nref: int) -> QuadForest:
+    """Refine random leaves nref times, then balance."""
+    rng = np.random.default_rng(seed)
+    f = QuadForest(0.0, 2.0, -2.0, 2.0, trees_x=1, trees_y=2, base_level=0)
+    for _ in range(nref):
+        leaves = sorted(f.leaves, key=lambda q: (q.level, q.i, q.j))
+        q = leaves[rng.integers(len(leaves))]
+        if q.level < 5:
+            f.refine_once([q])
+    f.balance()
+    return f
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000), nref=st.integers(1, 6))
+def test_forest_partitions_domain(seed, nref):
+    f = random_balanced_forest(seed, nref)
+    assert f.is_balanced()
+    mesh = forest_to_mesh(f)
+    area = float(np.prod(mesh.size, axis=1).sum())
+    assert area == pytest.approx(2.0 * 4.0)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000), nref=st.integers(1, 5), order=st.sampled_from([1, 2, 3]))
+def test_constraints_resolve_and_preserve_constants(seed, nref, order):
+    """On any balanced random mesh: the prolongation rows sum to 1 (the
+    constant function is in the constrained space), and the mass matrix
+    integrates the cylindrical measure exactly."""
+    mesh = forest_to_mesh(random_balanced_forest(seed, nref))
+    dm = DofMap(mesh, LagrangeQuad(order))
+    P = dm.P.toarray()
+    assert np.allclose(P.sum(axis=1), 1.0, atol=1e-12)
+    fs = FunctionSpace(mesh, order=order)
+    M = assemble_mass(fs)
+    ones = np.ones(fs.ndofs)
+    r0, r1, z0, z1 = mesh.bounds
+    exact = 0.5 * (r1**2 - r0**2) * (z1 - z0)
+    assert ones @ M @ ones == pytest.approx(exact, rel=1e-12)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000), nref=st.integers(1, 5))
+def test_interpolation_continuity_on_random_mesh(seed, nref):
+    """Expanded nodal fields are continuous at randomly chosen element
+    corners shared across refinement levels (the hanging-node guarantee)."""
+    mesh = forest_to_mesh(random_balanced_forest(seed, nref))
+    fs = FunctionSpace(mesh, order=2)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.normal(size=fs.ndofs)
+    x_full = fs.dofmap.expand(x)
+    # every full node's expanded value must equal the trace of some element
+    # that merely *touches* the node (continuity across the interface)
+    coords = fs.dofmap.node_coords
+    for n in rng.choice(fs.dofmap.n_full, size=min(12, fs.dofmap.n_full), replace=False):
+        p = coords[n]
+        vals = []
+        for e in range(mesh.nelem):
+            lo = mesh.lower[e]
+            hi = lo + mesh.size[e]
+            if np.all(p >= lo - 1e-12) and np.all(p <= hi + 1e-12):
+                ref = 2.0 * (p - lo) / mesh.size[e] - 1.0
+                B, _ = fs.element.tabulate(ref[None])
+                vals.append(float(B[0] @ x_full[fs.dofmap.cell_nodes[e]]))
+        assert vals, "node not inside any element?"
+        assert max(vals) - min(vals) < 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    i=st.integers(0, 7),
+    j=st.integers(0, 7),
+)
+def test_balance_after_point_refinement(seed, i, j):
+    """Refining any single level-2 quadrant twice more and balancing
+    leaves no >1-level edge jumps."""
+    f = QuadForest(0.0, 1.0, 0.0, 1.0, base_level=2)
+    q = Quadrant(2, i % 4, j % 4)
+    f.refine_once([q])
+    child = q.children()[seed % 4]
+    f.refine_once([child])
+    f.balance()
+    assert f.is_balanced()

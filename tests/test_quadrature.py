@@ -1,0 +1,80 @@
+"""Gauss-Legendre quadrature: exactness, weights, tensor structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.quadrature import GaussLegendre1D, TensorQuadrature
+
+
+class TestGaussLegendre1D:
+    def test_weights_sum_to_interval_length(self):
+        for n in range(1, 9):
+            rule = GaussLegendre1D(n)
+            assert rule.weights.sum() == pytest.approx(2.0)
+
+    def test_points_inside_interval(self):
+        for n in range(1, 9):
+            pts = GaussLegendre1D(n).points
+            assert np.all(pts > -1.0) and np.all(pts < 1.0)
+
+    def test_points_sorted_and_symmetric(self):
+        pts = GaussLegendre1D(6).points
+        assert np.all(np.diff(pts) > 0)
+        assert np.allclose(pts, -pts[::-1])
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_polynomial_exactness(self, n):
+        """n-point Gauss is exact through degree 2n-1."""
+        rule = GaussLegendre1D(n)
+        for deg in range(2 * n):
+            approx = np.sum(rule.weights * rule.points**deg)
+            exact = 0.0 if deg % 2 else 2.0 / (deg + 1)
+            assert approx == pytest.approx(exact, abs=1e-13)
+
+    def test_degree_2n_not_exact(self):
+        n = 3
+        rule = GaussLegendre1D(n)
+        approx = np.sum(rule.weights * rule.points ** (2 * n))
+        exact = 2.0 / (2 * n + 1)
+        assert abs(approx - exact) > 1e-6
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            GaussLegendre1D(0)
+
+
+class TestTensorQuadrature:
+    def test_weights_sum_to_area(self):
+        q = TensorQuadrature(4)
+        assert q.weights.sum() == pytest.approx(4.0)
+
+    def test_npoints(self):
+        assert TensorQuadrature(4).npoints == 16
+        assert TensorQuadrature(3).npoints == 9
+
+    def test_lexicographic_ordering_x_fastest(self):
+        q = TensorQuadrature(3)
+        # first three points share the y coordinate
+        assert np.allclose(q.points[:3, 1], q.points[0, 1])
+        assert np.all(np.diff(q.points[:3, 0]) > 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        i=st.integers(min_value=0, max_value=5),
+        j=st.integers(min_value=0, max_value=5),
+    )
+    def test_2d_monomial_exactness(self, i, j):
+        """Tensor 4-point rule integrates x^i y^j exactly for i,j <= 7."""
+        q = TensorQuadrature(4)
+        val = np.sum(q.weights * q.points[:, 0] ** i * q.points[:, 1] ** j)
+
+        def mono(k):
+            return 0.0 if k % 2 else 2.0 / (k + 1)
+
+        assert val == pytest.approx(mono(i) * mono(j), abs=1e-12)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TensorQuadrature(0)

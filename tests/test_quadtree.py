@@ -1,0 +1,102 @@
+"""Quadtree forest: refinement, 2:1 balance, geometry, export."""
+
+import numpy as np
+import pytest
+
+from repro.amr.quadtree import QuadForest, Quadrant
+
+
+class TestQuadrant:
+    def test_children_cover_parent(self):
+        q = Quadrant(2, 1, 3)
+        kids = q.children()
+        assert len(kids) == 4
+        assert {(k.i, k.j) for k in kids} == {(2, 6), (3, 6), (2, 7), (3, 7)}
+        assert all(k.level == 3 for k in kids)
+
+    def test_parent_roundtrip(self):
+        q = Quadrant(3, 5, 2)
+        for k in q.children():
+            assert k.parent() == q
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            Quadrant(0, 0, 0).parent()
+
+
+class TestForest:
+    def test_base_level(self):
+        f = QuadForest(0, 1, 0, 1, base_level=2)
+        assert f.nleaves == 16
+
+    def test_macro_grid(self):
+        f = QuadForest(0, 1, -1, 1, trees_x=1, trees_y=2)
+        assert f.nleaves == 2
+        # cells are squares
+        for q in f.leaves:
+            x0, y0, x1, y1 = f.quadrant_bounds(q)
+            assert (x1 - x0) == pytest.approx(y1 - y0)
+
+    def test_refine_predicate(self):
+        f = QuadForest(0, 1, 0, 1)
+
+        def near_origin(forest, q):
+            x0, y0, x1, y1 = forest.quadrant_bounds(q)
+            return x0 < 0.25 and y0 < 0.25 and (x1 - x0) > 0.2
+
+        n = f.refine(near_origin)
+        assert n >= 2
+        assert f.nleaves > 1
+
+    def test_max_level_cap(self):
+        f = QuadForest(0, 1, 0, 1)
+        f.refine(lambda forest, q: True, max_level=3)
+        assert f.max_level == 3
+        assert f.nleaves == 64
+
+    def test_leaves_partition_area(self):
+        f = QuadForest(0, 2, -1, 1, trees_x=1, trees_y=1)
+        f.refine(
+            lambda forest, q: forest.quadrant_bounds(q)[0] < 0.5
+            and q.level < 3
+        )
+        area = sum(
+            (b[2] - b[0]) * (b[3] - b[1])
+            for b in (f.quadrant_bounds(q) for q in f.leaves)
+        )
+        assert area == pytest.approx(4.0)
+
+    def test_balance(self):
+        f = QuadForest(0, 1, 0, 1, base_level=1)
+        # refine toward the domain center from one quadrant: the level-3
+        # cell at the center shares an edge with level-1 neighbors
+        f.refine_once([Quadrant(1, 0, 0)])
+        f.refine_once([Quadrant(2, 1, 1)])
+        assert not f.is_balanced()
+        n = f.balance()
+        assert n > 0
+        assert f.is_balanced()
+
+    def test_balance_idempotent(self):
+        f = QuadForest(0, 1, 0, 1, base_level=1)
+        f.refine_once([Quadrant(1, 0, 0)])
+        f.balance()
+        assert f.balance() == 0
+
+    def test_to_arrays_deterministic(self):
+        f = QuadForest(0, 1, 0, 1, base_level=1)
+        f.refine_once([Quadrant(1, 1, 1)])
+        lo1, sz1 = f.to_arrays()
+        lo2, sz2 = f.to_arrays()
+        assert np.array_equal(lo1, lo2)
+        assert np.array_equal(sz1, sz2)
+        assert lo1.shape == (f.nleaves, 2)
+
+    def test_refine_nonleaf_raises(self):
+        f = QuadForest(0, 1, 0, 1)
+        with pytest.raises(ValueError):
+            f.refine_once([Quadrant(5, 0, 0)])
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            QuadForest(1, 0, 0, 1)

@@ -1,0 +1,124 @@
+"""Lagrange Qk reference elements: nodal property, partition of unity,
+polynomial reproduction, edge numbering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.reference import (
+    LagrangeQuad,
+    gauss_lobatto_points,
+    lagrange_basis_1d,
+    lagrange_deriv_1d,
+)
+
+
+class TestGLL:
+    def test_endpoints(self):
+        for n in range(2, 7):
+            pts = gauss_lobatto_points(n)
+            assert pts[0] == -1.0 and pts[-1] == 1.0
+            assert len(pts) == n
+
+    def test_symmetric_sorted(self):
+        pts = gauss_lobatto_points(5)
+        assert np.allclose(pts, -pts[::-1])
+        assert np.all(np.diff(pts) > 0)
+
+    def test_q2_midpoint(self):
+        assert gauss_lobatto_points(3)[1] == pytest.approx(0.0, abs=1e-14)
+
+    def test_q3_interior(self):
+        # GLL(4) interior nodes at +-1/sqrt(5)
+        pts = gauss_lobatto_points(4)
+        assert pts[1] == pytest.approx(-1.0 / np.sqrt(5.0))
+        assert pts[2] == pytest.approx(+1.0 / np.sqrt(5.0))
+
+    def test_too_few(self):
+        with pytest.raises(ValueError):
+            gauss_lobatto_points(1)
+
+
+class TestLagrange1D:
+    def test_nodal_property(self):
+        nodes = gauss_lobatto_points(4)
+        vals = lagrange_basis_1d(nodes, nodes)
+        assert np.allclose(vals, np.eye(4), atol=1e-13)
+
+    def test_partition_of_unity(self):
+        nodes = gauss_lobatto_points(5)
+        x = np.linspace(-1, 1, 17)
+        assert np.allclose(lagrange_basis_1d(nodes, x).sum(axis=1), 1.0)
+
+    def test_derivative_sums_to_zero(self):
+        nodes = gauss_lobatto_points(4)
+        x = np.linspace(-1, 1, 9)
+        assert np.allclose(lagrange_deriv_1d(nodes, x).sum(axis=1), 0.0, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(x=st.floats(min_value=-1.0, max_value=1.0))
+    def test_derivative_matches_fd(self, x):
+        nodes = gauss_lobatto_points(4)
+        h = 1e-6
+        d = lagrange_deriv_1d(nodes, np.array([x]))[0]
+        fd = (
+            lagrange_basis_1d(nodes, np.array([x + h]))[0]
+            - lagrange_basis_1d(nodes, np.array([x - h]))[0]
+        ) / (2 * h)
+        assert np.allclose(d, fd, atol=1e-6)
+
+
+class TestLagrangeQuad:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_counts(self, order):
+        el = LagrangeQuad(order)
+        assert el.nnodes == (order + 1) ** 2
+
+    def test_nodal_property_2d(self):
+        el = LagrangeQuad(3)
+        B, _ = el.tabulate(el.nodes)
+        assert np.allclose(B, np.eye(el.nnodes), atol=1e-12)
+
+    def test_partition_of_unity_2d(self):
+        el = LagrangeQuad(3)
+        pts = np.random.default_rng(0).uniform(-1, 1, (20, 2))
+        B, D = el.tabulate(pts)
+        assert np.allclose(B.sum(axis=1), 1.0)
+        assert np.allclose(D.sum(axis=1), 0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_polynomial_reproduction(self, order):
+        """Interpolating x^order * y^order is exact inside the element."""
+        el = LagrangeQuad(order)
+        coeffs = el.nodes[:, 0] ** order * el.nodes[:, 1] ** order
+        pts = np.random.default_rng(1).uniform(-1, 1, (15, 2))
+        B, D = el.tabulate(pts)
+        vals = B @ coeffs
+        exact = pts[:, 0] ** order * pts[:, 1] ** order
+        assert np.allclose(vals, exact, atol=1e-12)
+        # gradient too
+        gx = D[:, :, 0] @ coeffs
+        exact_gx = order * pts[:, 0] ** (order - 1) * pts[:, 1] ** order
+        assert np.allclose(gx, exact_gx, atol=1e-11)
+
+    def test_edge_nodes_geometry(self):
+        el = LagrangeQuad(3)
+        # bottom edge nodes lie at eta = -1
+        for edge, (axis, val) in enumerate([(1, -1), (0, 1), (1, 1), (0, -1)]):
+            idx = el.edge_nodes(edge)
+            assert len(idx) == 4
+            assert np.allclose(el.nodes[idx, axis], val)
+
+    def test_edge_param_order(self):
+        el = LagrangeQuad(2)
+        idx = el.edge_nodes(0)
+        assert np.all(np.diff(el.nodes[idx, 0]) > 0)
+        idx = el.edge_nodes(3)
+        assert np.all(np.diff(el.nodes[idx, 1]) > 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LagrangeQuad(0)
+        with pytest.raises(ValueError):
+            LagrangeQuad(2).edge_nodes(4)

@@ -1,0 +1,44 @@
+"""ASCII reporting helpers."""
+
+import pytest
+
+from repro.report import ascii_plot, format_table
+
+
+class TestTable:
+    def test_basic(self):
+        out = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "2.5" in out and "x" in out
+
+    def test_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # fixed width
+
+
+class TestPlot:
+    def test_series_rendered(self):
+        x = list(range(10))
+        out = ascii_plot(x, {"lin": [2 * v for v in x], "quad": [v * v for v in x]})
+        assert "*" in out and "+" in out
+        assert "lin" in out and "quad" in out
+
+    def test_log_scale(self):
+        x = [0, 1, 2, 3]
+        out = ascii_plot(x, {"exp": [1.0, 10.0, 100.0, 1000.0]}, logy=True)
+        assert "log10" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], {"a": [1.0]})
+
+    def test_constant_series(self):
+        out = ascii_plot([0, 1, 2], {"c": [5.0, 5.0, 5.0]})
+        assert "c" in out

@@ -1,0 +1,132 @@
+"""Implicit quasi-Newton integrator: conservation over steps, convergence,
+linear-solver equivalence, advection, sources."""
+
+import numpy as np
+import pytest
+
+from repro.core import ImplicitLandauSolver, Moments
+from repro.core.maxwellian import maxwellian_rz
+
+
+@pytest.fixture()
+def aniso_state(fs_q3):
+    def aniso(r, z):
+        vr, vz = 0.6, 1.2
+        return np.exp(-((r / vr) ** 2) - (z / vz) ** 2) / (np.pi**1.5 * vr * vr * vz)
+
+    return fs_q3.interpolate(aniso)
+
+
+class TestStep:
+    def test_conservation_over_step(
+        self, electron_operator, electron_moments, aniso_state
+    ):
+        solver = ImplicitLandauSolver(electron_operator, rtol=1e-10)
+        m0 = electron_moments.summary([aniso_state])
+        f1 = solver.step([aniso_state], dt=0.5)
+        m1 = electron_moments.summary(f1)
+        assert m1["n_e"] == pytest.approx(m0["n_e"], rel=1e-12)
+        assert m1["p_z"] == pytest.approx(m0["p_z"], abs=1e-8)
+        assert m1["energy"] == pytest.approx(m0["energy"], rel=1e-7)
+
+    def test_anisotropy_relaxes(self, electron_operator, fs_q3, aniso_state):
+        solver = ImplicitLandauSolver(electron_operator, rtol=1e-8)
+        f = [aniso_state]
+        r, z = fs_q3.qpoints[:, :, 0], fs_q3.qpoints[:, :, 1]
+
+        def anisotropy(x):
+            fq = fs_q3.eval(x)
+            Tr = fs_q3.integrate(r**2 * fq) / 2.0
+            Tz = fs_q3.integrate(z**2 * fq)
+            return abs(Tr - Tz) / (Tr + Tz)
+
+        a0 = anisotropy(f[0])
+        f = solver.integrate(f, dt=0.5, nsteps=8)
+        a1 = anisotropy(f[0])
+        assert a1 < 0.35 * a0
+
+    def test_converges_flag_and_stats(self, electron_operator, aniso_state):
+        solver = ImplicitLandauSolver(electron_operator, rtol=1e-8)
+        solver.step([aniso_state], dt=0.25)
+        st = solver.stats
+        assert st.converged_last
+        assert st.time_steps == 1
+        assert st.newton_iterations >= 2
+        assert st.factorizations == st.solves
+        assert st.residual_history[-1] < 1e-8
+
+    def test_quasi_newton_linear_convergence(self, electron_operator, aniso_state):
+        """Residual history decays geometrically (linear convergence)."""
+        solver = ImplicitLandauSolver(electron_operator, rtol=1e-12, max_newton=40)
+        solver.step([aniso_state], dt=0.5)
+        hist = solver.stats.residual_history
+        assert len(hist) >= 4
+        ratios = [hist[k + 1] / hist[k] for k in range(1, min(len(hist), 8) - 1)]
+        assert all(r < 0.9 for r in ratios)
+
+    def test_band_solver_matches_splu(self, electron_operator, aniso_state):
+        s1 = ImplicitLandauSolver(electron_operator, rtol=1e-9)
+        s2 = ImplicitLandauSolver(electron_operator, linear_solver="band", rtol=1e-9)
+        f1 = s1.step([aniso_state], dt=0.5)
+        f2 = s2.step([aniso_state], dt=0.5)
+        assert np.allclose(f1[0], f2[0], atol=1e-11)
+
+    def test_invalid_inputs(self, electron_operator, aniso_state):
+        solver = ImplicitLandauSolver(electron_operator)
+        with pytest.raises(ValueError):
+            solver.step([aniso_state], dt=-0.1)
+        with pytest.raises(ValueError):
+            solver.step([aniso_state, aniso_state], dt=0.1)
+        with pytest.raises(ValueError):
+            ImplicitLandauSolver(electron_operator, theta=0.0)
+        with pytest.raises(ValueError):
+            ImplicitLandauSolver(electron_operator, linear_solver="magic")
+
+    def test_crank_nicolson_more_accurate(self, electron_operator, aniso_state):
+        """The midpoint-linearized theta=0.5 scheme beats backward Euler at
+        the same (moderate) step size."""
+        ref = ImplicitLandauSolver(electron_operator, rtol=1e-11, max_newton=60)
+        f_ref = ref.integrate([aniso_state], dt=0.0125, nsteps=32)
+        be = ImplicitLandauSolver(electron_operator, rtol=1e-11, max_newton=60)
+        f_be = be.integrate([aniso_state], dt=0.2, nsteps=2)
+        cn = ImplicitLandauSolver(
+            electron_operator, theta=0.5, rtol=1e-11, max_newton=60
+        )
+        f_cn = cn.integrate([aniso_state], dt=0.2, nsteps=2)
+        err_be = np.linalg.norm(f_be[0] - f_ref[0])
+        err_cn = np.linalg.norm(f_cn[0] - f_ref[0])
+        assert err_cn < 0.6 * err_be
+
+
+class TestEfieldAndSources:
+    def test_efield_drives_current(
+        self, electron_operator, electron_moments, electron_maxwellian
+    ):
+        solver = ImplicitLandauSolver(electron_operator, rtol=1e-8)
+        f = solver.integrate([electron_maxwellian], dt=0.5, nsteps=3, efield=0.05)
+        J = electron_moments.current_z(f)
+        assert J > 1e-4  # electrons accelerate against -z, J_z > 0
+
+    def test_efield_sign(self, electron_operator, electron_moments, electron_maxwellian):
+        solver = ImplicitLandauSolver(electron_operator, rtol=1e-8)
+        f = solver.integrate([electron_maxwellian], dt=0.5, nsteps=3, efield=-0.05)
+        assert electron_moments.current_z(f) < -1e-4
+
+    def test_source_injects_density(
+        self, electron_operator, fs_q3, electron_moments, electron_maxwellian
+    ):
+        solver = ImplicitLandauSolver(electron_operator, rtol=1e-8)
+        # weak source vector for a unit-density-rate Maxwellian
+        vals = maxwellian_rz(fs_q3.qpoints[:, :, 0], fs_q3.qpoints[:, :, 1], 1.0, 0.8)
+        b_full = np.zeros(fs_q3.dofmap.n_full)
+        np.add.at(
+            b_full,
+            fs_q3.dofmap.cell_nodes,
+            np.einsum("eq,qb->eb", fs_q3.qweights * vals, fs_q3.B),
+        )
+        b = fs_q3.dofmap.reduce_vector(b_full)
+        n0 = electron_moments.summary([electron_maxwellian])["n_e"]
+        f1 = solver.step([electron_maxwellian], dt=0.5, sources=[b])
+        n1 = electron_moments.summary(f1)["n_e"]
+        # dn/dt = source rate = 1 (up to interpolation error of the shape)
+        assert n1 - n0 == pytest.approx(0.5, rel=2e-2)

@@ -1,0 +1,86 @@
+"""COO assembly path and graph-coloring assembly plan (section III-F)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CooAssembler, color_elements, colored_assembly_plan
+from repro.sparse.coloring import verify_coloring
+
+
+class TestCoo:
+    def test_reduce_by_key(self):
+        coo = CooAssembler(3, np.array([0, 0, 1]), np.array([1, 1, 2]))
+        A = coo.assemble(np.array([1.0, 2.0, 5.0]))
+        assert A[0, 1] == pytest.approx(3.0)
+        assert A[1, 2] == pytest.approx(5.0)
+        assert coo.nnz == 2
+        assert coo.ncontrib == 3
+
+    def test_repeated_assembly_independent(self):
+        coo = CooAssembler(2, np.array([0, 1]), np.array([0, 1]))
+        A1 = coo.assemble(np.array([1.0, 2.0]))
+        A2 = coo.assemble(np.array([3.0, 4.0]))
+        assert A1[0, 0] == 1.0 and A2[0, 0] == 3.0
+
+    def test_from_element_blocks_matches_dense(self):
+        rng = np.random.default_rng(5)
+        nodes = np.array([[0, 1, 2], [2, 3, 4], [4, 0, 1]])
+        coo = CooAssembler.from_element_blocks(5, nodes)
+        blocks = rng.normal(size=(3, 3, 3))
+        dense = np.zeros((5, 5))
+        for e in range(3):
+            dense[np.ix_(nodes[e], nodes[e])] += blocks[e]
+        assert np.allclose(coo.assemble(blocks).toarray(), dense)
+
+    def test_value_count_checked(self):
+        coo = CooAssembler(3, np.array([0]), np.array([0]))
+        with pytest.raises(ValueError):
+            coo.assemble(np.array([1.0, 2.0]))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            CooAssembler(2, np.array([5]), np.array([0]))
+
+    def test_matches_fem_reference(self, fs_q2):
+        """COO assembly of element mass blocks equals the reference path."""
+        from repro.fem.assembly import assemble_mass, element_mass_blocks
+
+        fs = fs_q2
+        blocks = element_mass_blocks(fs)
+        coo = CooAssembler.from_element_blocks(
+            fs.dofmap.n_full, fs.dofmap.cell_nodes
+        )
+        A_full = coo.assemble(blocks)
+        A = fs.dofmap.reduce_matrix(A_full)
+        assert abs(A - assemble_mass(fs)).max() < 1e-13
+
+
+class TestColoring:
+    def test_valid_on_amr_mesh(self, fs_q3):
+        colors = color_elements(fs_q3.dofmap.cell_nodes)
+        assert verify_coloring(fs_q3.dofmap.cell_nodes, colors)
+
+    def test_color_count_reasonable(self, fs_q3):
+        colors = color_elements(fs_q3.dofmap.cell_nodes)
+        # 2D quad meshes color with a handful of colors
+        assert 2 <= colors.max() + 1 <= 12
+
+    def test_plan_partitions_elements(self, fs_q3):
+        plan = colored_assembly_plan(fs_q3.dofmap.cell_nodes)
+        all_elems = np.sort(np.concatenate(plan))
+        assert np.array_equal(all_elems, np.arange(fs_q3.nelem))
+
+    def test_same_color_no_shared_nodes(self, fs_q3):
+        plan = colored_assembly_plan(fs_q3.dofmap.cell_nodes)
+        nodes = fs_q3.dofmap.cell_nodes
+        for batch in plan:
+            seen: set[int] = set()
+            for e in batch:
+                s = set(nodes[e].tolist())
+                assert not (seen & s)
+                seen |= s
+
+    def test_disjoint_elements_one_color(self):
+        nodes = np.array([[0, 1], [2, 3], [4, 5]])
+        colors = color_elements(nodes)
+        assert colors.max() == 0

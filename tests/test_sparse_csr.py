@@ -1,0 +1,111 @@
+"""PetscLikeMat: two-phase (CPU pattern, GPU value) assembly semantics."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import PetscLikeMat
+
+
+def small_blocks():
+    rows = [np.array([0, 1]), np.array([1, 2])]
+    cols = [np.array([0, 1]), np.array([1, 2])]
+    vals = [np.array([[1.0, 2.0], [3.0, 4.0]]), np.array([[1.0, 1.0], [1.0, 1.0]])]
+    return rows, cols, vals
+
+
+class TestPhase1:
+    def test_assemble_sums_duplicates(self):
+        M = PetscLikeMat(4)
+        rows, cols, vals = small_blocks()
+        for r, c, v in zip(rows, cols, vals):
+            M.set_values(r, c, v)
+        A = M.assemble()
+        assert A[1, 1] == pytest.approx(4.0 + 1.0)
+        assert A[0, 0] == pytest.approx(1.0)
+
+    def test_block_shape_checked(self):
+        M = PetscLikeMat(4)
+        with pytest.raises(ValueError):
+            M.set_values([0, 1], [0], np.ones((2, 2)))
+
+    def test_empty_assemble(self):
+        M = PetscLikeMat(3)
+        A = M.assemble()
+        assert A.nnz == 0
+
+
+class TestPhase2:
+    def test_frozen_reassembly_identical(self):
+        M = PetscLikeMat(5)
+        rows, cols, vals = small_blocks()
+        for r, c, v in zip(rows, cols, vals):
+            M.set_values(r, c, v)
+        A1 = M.assemble().copy()
+        assert M.frozen
+        M.zero_entries()
+        for r, c, v in zip(rows, cols, vals):
+            M.set_values(r, c, v)
+        A2 = M.assemble()
+        assert abs(A1 - A2).max() == 0.0
+
+    def test_frozen_scaled_values(self):
+        M = PetscLikeMat(5)
+        rows, cols, vals = small_blocks()
+        for r, c, v in zip(rows, cols, vals):
+            M.set_values(r, c, v)
+        A1 = M.assemble().copy()
+        M.zero_entries()
+        for r, c, v in zip(rows, cols, vals):
+            M.set_values(r, c, 2.0 * v)
+        A2 = M.assemble()
+        assert abs(A2 - 2.0 * A1).max() < 1e-14
+
+    def test_outside_pattern_raises(self):
+        M = PetscLikeMat(5)
+        M.set_values([0], [0], np.array([[1.0]]))
+        M.assemble()
+        with pytest.raises(KeyError):
+            M.set_values([4], [4], np.array([[1.0]]))
+
+    def test_nnz(self):
+        M = PetscLikeMat(5)
+        rows, cols, vals = small_blocks()
+        for r, c, v in zip(rows, cols, vals):
+            M.set_values(r, c, v)
+        M.assemble()
+        assert M.nnz == 7  # 4 + 4 - 1 shared (1,1)
+
+    def test_nnz_before_assemble_raises(self):
+        with pytest.raises(RuntimeError):
+            PetscLikeMat(3).nnz
+
+    def test_call_counter(self):
+        M = PetscLikeMat(5)
+        rows, cols, vals = small_blocks()
+        for r, c, v in zip(rows, cols, vals):
+            M.set_values(r, c, v)
+        assert M.set_values_calls == 2
+
+
+class TestRandomized:
+    def test_matches_direct_coo(self):
+        rng = np.random.default_rng(11)
+        n = 30
+        M = PetscLikeMat(n)
+        dense = np.zeros((n, n))
+        blocks = []
+        for _ in range(25):
+            idx = rng.choice(n, size=4, replace=False)
+            B = rng.normal(size=(4, 4))
+            blocks.append((idx, B))
+            M.set_values(idx, idx, B)
+            dense[np.ix_(idx, idx)] += B
+        A1 = M.assemble().toarray()
+        assert np.allclose(A1, dense)
+        # phase 2 replay with different values
+        M.zero_entries()
+        dense2 = np.zeros((n, n))
+        for idx, B in blocks:
+            M.set_values(idx, idx, -0.5 * B)
+            dense2[np.ix_(idx, idx)] += -0.5 * B
+        assert np.allclose(M.assemble().toarray(), dense2)

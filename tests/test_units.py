@@ -1,0 +1,83 @@
+"""Unit system: Appendix A nondimensionalization round-trips and anchors."""
+
+import math
+
+import pytest
+
+from repro import constants as c
+from repro.units import DEFAULT_UNITS, UnitSystem
+
+
+class TestAnchors:
+    def test_v0_definition(self):
+        u = UnitSystem(T0_ev=1000.0)
+        expect = math.sqrt(8 * 1000.0 * c.EV / (math.pi * c.ELECTRON_MASS))
+        assert u.v0 == pytest.approx(expect)
+
+    def test_t0_makes_nu_ee_unity(self):
+        """t0 is defined so the e-e collision frequency is 1 in code units:
+        t0 * nu_phys(n0) with the paper's prefactor equals 1."""
+        u = DEFAULT_UNITS
+        nu = c.collision_frequency_prefactor() * u.n0 / u.v0**3
+        assert nu * u.t0 == pytest.approx(1.0)
+
+    def test_kT0(self):
+        u = UnitSystem(T0_ev=500.0)
+        assert u.kT0 == pytest.approx(500.0 * c.EV)
+        # kT0 = (pi/8) m0 v0^2
+        assert u.kT0 == pytest.approx(math.pi / 8 * c.ELECTRON_MASS * u.v0**2)
+
+    def test_c_code_scaling(self):
+        u1 = UnitSystem(T0_ev=1000.0)
+        u2 = UnitSystem(T0_ev=4000.0)
+        assert u1.c_code / u2.c_code == pytest.approx(2.0)
+
+    def test_temperature_scaling_of_t0(self):
+        """t0 ~ v0^3 ~ T^(3/2): hotter plasmas are less collisional."""
+        u1 = UnitSystem(T0_ev=1000.0)
+        u2 = UnitSystem(T0_ev=4000.0)
+        assert u2.t0 / u1.t0 == pytest.approx(8.0)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "to_code,to_si",
+        [
+            ("velocity_to_code", "velocity_to_si"),
+            ("time_to_code", "time_to_si"),
+            ("efield_to_code", "efield_to_si"),
+            ("resistivity_to_code", "resistivity_to_si"),
+        ],
+    )
+    def test_inverse_pairs(self, to_code, to_si):
+        u = DEFAULT_UNITS
+        x = 123.456
+        assert getattr(u, to_si)(getattr(u, to_code)(x)) == pytest.approx(x)
+
+    def test_efield_acceleration_consistency(self):
+        """eE/m_e in SI equals E~ * v0/t0 in code units."""
+        u = DEFAULT_UNITS
+        E_si = 100.0  # V/m
+        a_si = c.ELECTRON_CHARGE * E_si / c.ELECTRON_MASS
+        E_code = u.efield_to_code(E_si)
+        assert E_code * u.v0 / u.t0 == pytest.approx(a_si)
+
+    def test_resistivity_scale(self):
+        """eta~ = eta_si * n0 e^2 t0 / m0."""
+        u = DEFAULT_UNITS
+        eta_si = 1e-7
+        expect = eta_si * u.n0 * c.ELECTRON_CHARGE**2 * u.t0 / c.ELECTRON_MASS
+        assert u.resistivity_to_code(eta_si) == pytest.approx(expect)
+
+
+class TestConstants:
+    def test_thermal_speed_validation(self):
+        with pytest.raises(ValueError):
+            c.thermal_speed(-1.0, c.ELECTRON_MASS)
+        with pytest.raises(ValueError):
+            c.thermal_speed(1.0, 0.0)
+
+    def test_mass_ratios(self):
+        assert c.DEUTERIUM_MASS_RATIO == pytest.approx(3670.5, rel=1e-3)
+        assert c.PROTON_MASS_RATIO == pytest.approx(1836.15, rel=1e-4)
+        assert c.TUNGSTEN_MASS_RATIO == pytest.approx(184 * 1836, rel=2e-2)

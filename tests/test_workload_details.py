@@ -1,0 +1,89 @@
+"""Workload model details: occupancy, species construction, scaling hooks."""
+
+import pytest
+
+from repro.gpu.device import A64FX, MI100, V100
+from repro.perf.nodes import EPYC, POWER9
+from repro.perf.workload import (
+    BLOCKS_PER_SM_FOR_FULL_OCCUPANCY,
+    build_paper_species,
+)
+
+
+class TestPaperSpecies:
+    def test_composition(self):
+        spc = build_paper_species()
+        names = [s.name for s in spc]
+        assert names[0] == "e" and names[1] == "D"
+        assert sum(1 for n in names if n.startswith("W")) == 8
+
+    def test_quasineutrality(self):
+        spc = build_paper_species()
+        assert spc.quasineutral()
+        # electron density balances D + all tungsten charge
+        zw = sum(s.charge * s.density for s in spc if s.name.startswith("W"))
+        assert spc[0].density == pytest.approx(1.0 + zw)
+
+    def test_thermal_velocity_separation(self):
+        """e, D, W thermal velocities are 'well separated' (sec. III-H) —
+        more than 2x apart between clusters, equal within the W cluster."""
+        spc = build_paper_species()
+        v = spc.thermal_velocities
+        assert v[0] / v[1] > 2.0
+        assert v[1] / v[2] > 2.0
+        assert all(abs(v[i] - v[2]) < 1e-14 for i in range(2, 10))
+
+
+class TestOccupancyModel:
+    def test_occupancy_from_workload(self, shared_workload):
+        wl = shared_workload
+        occ_v = wl.occupancy(V100)
+        occ_m = wl.occupancy(MI100)
+        expected_v = wl.fs.nelem / (V100.sm_count * BLOCKS_PER_SM_FOR_FULL_OCCUPANCY)
+        assert occ_v == pytest.approx(min(1.0, expected_v))
+        # MI100 has more CUs -> lower occupancy from the same launch
+        assert occ_m < occ_v
+
+    def test_kernel_overhead_multiplies(self, shared_workload):
+        wl = shared_workload
+        t1 = wl.kernel_time(V100, overhead=1.0)
+        t2 = wl.kernel_time(V100, overhead=1.10)
+        # overhead applies to everything (body + atomics + launch)
+        assert t2 == pytest.approx(1.10 * t1, rel=1e-12)
+
+    def test_cpu_time_composition(self, shared_workload):
+        wl = shared_workload
+        total = wl.cpu_time(POWER9)
+        parts = (
+            wl.factor_time(POWER9)
+            + wl.solve_time(POWER9)
+            + wl.metadata_time(POWER9)
+            + wl.other_time(POWER9)
+        )
+        assert total == pytest.approx(parts)
+
+    def test_epyc_faster_than_p9(self, shared_workload):
+        wl = shared_workload
+        assert wl.factor_time(EPYC) < wl.factor_time(POWER9)
+
+    def test_a64fx_host_kernel_uses_scalar_lanes(self, shared_workload):
+        """The OpenMP host-kernel rate reflects scalar (1/warp_size) lanes
+        times the toolchain efficiency."""
+        wl = shared_workload
+        t = wl.host_kernel_time(POWER9, 8, A64FX)
+        slots = wl.jacobian_counters.issue_slots + wl.mass_counters.issue_slots
+        per_core = (
+            A64FX.peak_issue_slots
+            / A64FX.sm_count
+            / A64FX.warp_size
+            * A64FX.software_efficiency
+            * A64FX.pipe_utilization
+        )
+        assert t == pytest.approx(slots / (8 * per_core))
+
+
+@pytest.fixture(scope="session")
+def shared_workload():
+    from repro.perf import build_paper_workload
+
+    return build_paper_workload()
