@@ -29,7 +29,16 @@ from .operator import LandauOperator
 
 @dataclass
 class NewtonStats:
-    """Work counters — the throughput figure of merit is Newton iterations."""
+    """Work counters — the throughput figure of merit is Newton iterations.
+
+    Besides the raw work counters, the stats record the resilience layer's
+    activity: ``step_rejections``/``dt_backoffs`` count retried steps,
+    ``backend_solves`` maps each linear-solver backend name to the number
+    of right-hand sides it served (populated by
+    :class:`repro.resilience.fallback.FallbackSolverChain`), and
+    ``events`` is an append-only log of structured
+    ``{"kind": ..., ...}`` dicts (fallbacks, rejections, checkpoints).
+    """
 
     time_steps: int = 0
     newton_iterations: int = 0
@@ -38,6 +47,13 @@ class NewtonStats:
     solves: int = 0
     converged_last: bool = True
     residual_history: list = field(default_factory=list)
+    step_rejections: int = 0
+    dt_backoffs: int = 0
+    backend_solves: dict = field(default_factory=dict)
+    events: list = field(default_factory=list)
+
+    def record_event(self, kind: str, **info) -> None:
+        self.events.append({"kind": kind, **info})
 
     def merge(self, other: "NewtonStats") -> None:
         self.time_steps += other.time_steps
@@ -45,6 +61,13 @@ class NewtonStats:
         self.jacobian_builds += other.jacobian_builds
         self.factorizations += other.factorizations
         self.solves += other.solves
+        self.converged_last = self.converged_last and other.converged_last
+        self.residual_history.extend(other.residual_history)
+        self.step_rejections += other.step_rejections
+        self.dt_backoffs += other.dt_backoffs
+        for name, count in other.backend_solves.items():
+            self.backend_solves[name] = self.backend_solves.get(name, 0) + count
+        self.events.extend(other.events)
 
 
 def _splu_factory(A: sp.csr_matrix) -> Callable[[np.ndarray], np.ndarray]:
@@ -87,15 +110,24 @@ class ImplicitLandauSolver:
         self.atol = float(atol)
         self.max_newton = int(max_newton)
         self.stats = NewtonStats()
+        self._last_step_newton = 0
 
         if callable(linear_solver):
             self._factor = linear_solver
+            # a FallbackSolverChain built without a stats sink reports
+            # backend usage into this solver's stats
+            if hasattr(linear_solver, "bind") and getattr(linear_solver, "stats", 0) is None:
+                linear_solver.bind(self.stats)
         elif linear_solver == "splu":
             self._factor = _splu_factory
         elif linear_solver == "band":
             from ..sparse.band import band_solver_factory
 
             self._factor = band_solver_factory
+        elif linear_solver == "fallback":
+            from ..resilience.fallback import FallbackSolverChain
+
+            self._factor = FallbackSolverChain(stats=self.stats)
         else:
             raise ValueError(f"unknown linear solver {linear_solver!r}")
 
@@ -172,13 +204,22 @@ class ImplicitLandauSolver:
                 fk1.append(x)
             fk = fk1
             step_stats.residual_history.append(delta)
+            if not np.isfinite(delta):
+                # a NaN/Inf residual never recovers under a stationary
+                # iteration — stop burning Newton iterations and let the
+                # caller's guard/controller handle the rejection
+                break
             if delta < self.rtol:
                 converged = True
                 break
         step_stats.converged_last = converged
         self.stats.merge(step_stats)
+        # the long-lived stats expose the *last* step's convergence state
+        # and residual trace (merge ANDs/extends, which is right for
+        # combining sibling stats but not for "how did the last step go")
         self.stats.converged_last = converged
         self.stats.residual_history = step_stats.residual_history
+        self._last_step_newton = step_stats.newton_iterations
         return fk
 
     # ------------------------------------------------------------------
@@ -198,3 +239,93 @@ class ImplicitLandauSolver:
             if callback is not None:
                 callback(k + 1, (k + 1) * dt, f)
         return f
+
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        fields: list[np.ndarray],
+        t_final: float,
+        controller,
+        *,
+        t0: float = 0.0,
+        efield: float = 0.0,
+        sources: list[np.ndarray] | None = None,
+        guard=None,
+        callback: Callable | None = None,
+    ) -> tuple[list[np.ndarray], float]:
+        """Advance from ``t0`` to ``t_final`` with adaptive retry/backoff.
+
+        The resilient replacement for a fixed-``dt`` loop: each substep
+        takes the controller's current ``dt`` (clipped to land exactly on
+        ``t_final``); on quasi-Newton non-convergence, a tripped
+        :class:`~repro.resilience.guards.StepGuard`, or a recoverable
+        linear-algebra failure, the pre-step state is restored, the
+        controller backs ``dt`` off (``controller.on_reject``, which
+        raises :class:`~repro.resilience.exceptions.SolveFailure` once its
+        budget is spent) and the substep is retried.  After a streak of
+        easy accepts the controller re-grows ``dt``.
+
+        Parameters
+        ----------
+        controller:
+            a :class:`repro.resilience.controller.TimeStepController`.
+        guard:
+            optional :class:`repro.resilience.guards.StepGuard`; checked
+            on every accepted substep.
+        callback:
+            ``callback(t, fields)`` after each accepted substep.
+
+        Returns the advanced fields and the reached time (``== t_final``).
+        """
+        from ..resilience.exceptions import RECOVERABLE_ERRORS, StepRejected
+
+        f = [np.asarray(x, dtype=float) for x in fields]
+        t = float(t0)
+        span = abs(t_final - t0)
+        eps = 1e-12 * max(1.0, span, abs(t_final))
+        while t < t_final - eps:
+            dt = min(controller.dt, t_final - t)
+            reference = guard.reference(f) if guard is not None else None
+            try:
+                f_new = self.step(f, dt, efield=efield, sources=sources)
+                if not self.stats.converged_last:
+                    raise StepRejected(
+                        "quasi-Newton iteration did not converge",
+                        diagnostics={
+                            "dt": dt,
+                            "t": t,
+                            "newton_iterations": self._last_step_newton,
+                            "residual": (
+                                self.stats.residual_history[-1]
+                                if self.stats.residual_history
+                                else None
+                            ),
+                        },
+                    )
+                if guard is not None:
+                    guard.check(
+                        f_new,
+                        reference,
+                        dt=dt,
+                        efield=efield,
+                        has_sources=sources is not None,
+                    )
+            except RECOVERABLE_ERRORS as err:
+                self.stats.step_rejections += 1
+                diag = getattr(err, "diagnostics", {})
+                self.stats.record_event(
+                    "step_rejected",
+                    t=t,
+                    dt=dt,
+                    reason=f"{type(err).__name__}: {err}",
+                    **{k: v for k, v in diag.items() if k in ("guard", "species")},
+                )
+                controller.on_reject(reason=type(err).__name__)
+                self.stats.dt_backoffs += 1
+                continue
+            t += dt
+            f = f_new
+            controller.on_accept(self._last_step_newton)
+            if callback is not None:
+                callback(t, f)
+        return f, t

@@ -38,12 +38,23 @@ class Species:
     temperature: float = 1.0
 
     def __post_init__(self) -> None:
+        # validate finiteness first: NaN slips through every ordering
+        # comparison (NaN <= 0 is False) and would otherwise propagate
+        # silently into the operator assembly
+        for attr in ("charge", "mass", "density", "temperature"):
+            v = getattr(self, attr)
+            if not math.isfinite(v):
+                raise ValueError(f"{self.name}: {attr} must be finite, got {v}")
         if self.mass <= 0:
-            raise ValueError(f"{self.name}: mass must be positive")
-        if self.density < 0:
-            raise ValueError(f"{self.name}: density must be non-negative")
+            raise ValueError(f"{self.name}: mass must be positive, got {self.mass}")
+        if self.density <= 0:
+            raise ValueError(
+                f"{self.name}: density must be positive, got {self.density}"
+            )
         if self.temperature <= 0:
-            raise ValueError(f"{self.name}: temperature must be positive")
+            raise ValueError(
+                f"{self.name}: temperature must be positive, got {self.temperature}"
+            )
 
     @property
     def thermal_velocity(self) -> float:

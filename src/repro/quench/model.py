@@ -30,9 +30,24 @@ from ..core.moments import Moments
 from ..core.operator import LandauOperator
 from ..core.solver import ImplicitLandauSolver
 from ..core.species import Species, SpeciesSet, electron
+from ..resilience import (
+    CheckpointError,
+    GuardConfig,
+    StepGuard,
+    TimeStepController,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .runaway import connor_hastie_field_code
 from .source import ColdPlasmaSource
 from .spitzer import spitzer_eta_code
+
+
+def _validate_stepping(dt: float, max_steps: int, label: str) -> None:
+    if not (np.isfinite(dt) and dt > 0):
+        raise ValueError(f"{label}: dt must be positive and finite, got {dt}")
+    if int(max_steps) != max_steps or max_steps < 1:
+        raise ValueError(f"{label}: max_steps must be a positive integer, got {max_steps}")
 
 
 @dataclass
@@ -83,13 +98,33 @@ def measure_resistivity(
     mesh_kwargs: dict | None = None,
     units: UnitSystem = DEFAULT_UNITS,
     rtol: float = 1e-6,
-) -> dict[str, float]:
+    linear_solver="splu",
+    max_newton: int = 50,
+    controller: TimeStepController | None = None,
+    guard: StepGuard | GuardConfig | bool = True,
+) -> dict:
     """Run an e + ion(Z) plasma to quasi-equilibrium; return eta = E/J.
 
     The Fig. 4 experiment: computed resistivity vs the Spitzer value as a
     function of the ion charge Z.  ``settle_tol`` is the relative change of
     J over a step below which the current is called quasi-steady.
+
+    The run is resilient by default: every settle step is advanced by the
+    adaptive retry/backoff loop of
+    :meth:`~repro.core.solver.ImplicitLandauSolver.advance` under a
+    :class:`~repro.resilience.guards.StepGuard` (density conservation,
+    finiteness, positivity — momentum/energy are driven by the field and
+    therefore not checked).  ``linear_solver`` accepts the usual plugs,
+    including ``"fallback"`` and fault-injected chains, so the whole
+    recovery stack can be exercised on this ramp.
     """
+    _validate_stepping(dt, max_steps, "measure_resistivity")
+    if not np.isfinite(efield):
+        raise ValueError(f"measure_resistivity: efield must be finite, got {efield}")
+    if not (np.isfinite(settle_tol) and settle_tol > 0):
+        raise ValueError(
+            f"measure_resistivity: settle_tol must be positive, got {settle_tol}"
+        )
     ion = _ion_for_Z(Z)
     spc = SpeciesSet([electron(density=Z * ion.density), ion])
     mesh = landau_mesh(
@@ -97,14 +132,26 @@ def measure_resistivity(
     )
     fs = FunctionSpace(mesh, order=order)
     op = LandauOperator(fs, spc)
-    solver = ImplicitLandauSolver(op, rtol=rtol)
+    solver = ImplicitLandauSolver(
+        op, rtol=rtol, linear_solver=linear_solver, max_newton=max_newton
+    )
     mom = Moments(fs, spc)
+    if guard is True:
+        guard = StepGuard(mom)
+    elif isinstance(guard, GuardConfig):
+        guard = StepGuard(mom, guard)
+    elif guard is False:
+        guard = None
+    controller = controller or TimeStepController(dt_init=dt)
     fields = [fs.interpolate(species_maxwellian(s)) for s in spc]
 
     J_prev = 0.0
     steps = 0
+    t = 0.0
     for _ in range(max_steps):
-        fields = solver.step(fields, dt, efield=efield)
+        fields, t = solver.advance(
+            fields, t + dt, controller, t0=t, efield=efield, guard=guard
+        )
         steps += 1
         J = mom.current_z(fields)
         if J_prev != 0.0 and abs(J - J_prev) < settle_tol * abs(J):
@@ -122,11 +169,26 @@ def measure_resistivity(
         "T_e": float(mom.electron_temperature(fields)),
         "steps": steps,
         "newton_iterations": solver.stats.newton_iterations,
+        "step_rejections": solver.stats.step_rejections,
+        "dt_backoffs": solver.stats.dt_backoffs,
+        "converged_last": bool(solver.stats.converged_last),
+        "stats": solver.stats,
     }
 
 
 class ThermalQuenchModel:
-    """The full Fig. 5 experiment driver."""
+    """The full Fig. 5 experiment driver, with adaptive stepping and
+    checkpoint/restart.
+
+    Each macro step of size ``dt`` (the history cadence) is advanced by
+    the adaptive retry/backoff loop of
+    :meth:`~repro.core.solver.ImplicitLandauSolver.advance`: when the
+    quench collapses ``T_e`` and the quasi-Newton iteration stalls, the
+    step is retried at half the ``dt`` (down to ``dt_min``) and the step
+    size re-grows once the solve gets easy again.  ``run`` can write
+    periodic checkpoints and ``resume`` continues a killed run so that the
+    completed :class:`QuenchHistory` bitwise-matches an uninterrupted one.
+    """
 
     def __init__(
         self,
@@ -139,7 +201,25 @@ class ThermalQuenchModel:
         source: ColdPlasmaSource | None = None,
         mesh_kwargs: dict | None = None,
         rtol: float = 1e-6,
+        linear_solver="splu",
+        max_newton: int = 50,
+        controller: TimeStepController | None = None,
+        guard: StepGuard | GuardConfig | bool = True,
+        dt_min: float | None = None,
     ):
+        _validate_stepping(dt, 1, "ThermalQuenchModel")
+        if not (np.isfinite(Z) and Z >= 1.0):
+            raise ValueError(f"ThermalQuenchModel: Z must be >= 1, got {Z}")
+        if not (np.isfinite(E0_over_Ec) and E0_over_Ec >= 0):
+            raise ValueError(
+                f"ThermalQuenchModel: E0_over_Ec must be non-negative, got {E0_over_Ec}"
+            )
+        if not (np.isfinite(settle_tol) and settle_tol > 0):
+            raise ValueError(
+                f"ThermalQuenchModel: settle_tol must be positive, got {settle_tol}"
+            )
+        if int(order) != order or order < 1:
+            raise ValueError(f"ThermalQuenchModel: order must be >= 1, got {order}")
         self.units = units
         ion = _ion_for_Z(Z)
         self.species = SpeciesSet([electron(density=Z * ion.density), ion])
@@ -160,8 +240,11 @@ class ThermalQuenchModel:
         kw.update(mesh_kwargs or {})
         mesh = landau_mesh(vths, **kw)
         self.fs = FunctionSpace(mesh, order=order)
+        self.order = int(order)
         self.op = LandauOperator(self.fs, self.species)
-        self.solver = ImplicitLandauSolver(self.op, rtol=rtol)
+        self.solver = ImplicitLandauSolver(
+            self.op, rtol=rtol, linear_solver=linear_solver, max_newton=max_newton
+        )
         self.moments = Moments(self.fs, self.species)
         self.dt = float(dt)
         self.settle_tol = float(settle_tol)
@@ -169,6 +252,41 @@ class ThermalQuenchModel:
         self.E_c = connor_hastie_field_code(units, self.species[0].density)
         self.E0 = E0_over_Ec * self.E_c
         self._source_shapes = self.source.shape_vectors(self.fs)
+        self.controller = controller or TimeStepController(dt_init=self.dt, dt_min=dt_min)
+        if guard is True:
+            self.guard = StepGuard(self.moments)
+        elif isinstance(guard, GuardConfig):
+            self.guard = StepGuard(self.moments, guard)
+        elif guard is False:
+            self.guard = None
+        else:
+            self.guard = guard
+
+    # ------------------------------------------------------------------
+    def _fingerprint(self) -> dict:
+        """Configuration identity stored in checkpoints and validated on
+        resume — resuming onto a different mesh/species/dt silently
+        produces garbage, so it is refused instead."""
+        return {
+            "ndofs": int(self.fs.ndofs),
+            "n_species": len(self.species),
+            "Z": float(self.Z),
+            "dt": float(self.dt),
+            "order": self.order,
+        }
+
+    def _advance_macro(self, fields, t, efield, sources=None):
+        """One history-cadence step of size ``dt``, adaptively substepped."""
+        f, _ = self.solver.advance(
+            fields,
+            t + self.dt,
+            self.controller,
+            t0=t,
+            efield=efield,
+            sources=sources,
+            guard=self.guard,
+        )
+        return f
 
     # ------------------------------------------------------------------
     def run(
@@ -176,40 +294,170 @@ class ThermalQuenchModel:
         ramp_steps: int = 30,
         quench_steps: int = 40,
         post_steps: int = 10,
+        *,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int = 0,
+        stop_after: int | None = None,
     ) -> QuenchHistory:
-        """Execute the three phases; returns the Fig. 5 history."""
+        """Execute the three phases; returns the Fig. 5 history.
+
+        ``checkpoint_path`` + ``checkpoint_every=k`` writes a restartable
+        checkpoint (atomically, overwriting) every ``k`` accepted macro
+        steps.  ``stop_after=n`` stops the run after ``n`` macro steps —
+        writing a final checkpoint when a path is given — and returns the
+        partial history; :meth:`resume` picks the run back up.
+        """
+        for name, v in (("ramp_steps", ramp_steps), ("quench_steps", quench_steps)):
+            if v < 1:
+                raise ValueError(f"run: {name} must be >= 1, got {v}")
+        if post_steps < 0:
+            raise ValueError(f"run: post_steps must be >= 0, got {post_steps}")
         hist = QuenchHistory()
         fields = [
             self.fs.interpolate(species_maxwellian(s)) for s in self.species
         ]
-        t = 0.0
-        E = self.E0
+        s = self.moments.summary(fields)
+        hist.record(0.0, s["n_e"], s["J_z"], self.E0, s["T_e"], "ramp")
+        state = {
+            "stage": "ramp",
+            "k": 0,
+            "E": self.E0,
+            "J_prev": 0.0,
+            "macro_steps": 0,
+            "source_t_start": None,
+            "ramp_steps": int(ramp_steps),
+            "quench_steps": int(quench_steps),
+            "post_steps": int(post_steps),
+        }
+        return self._run_loop(
+            fields, 0.0, state, hist, checkpoint_path, checkpoint_every, stop_after
+        )
+
+    def resume(
+        self,
+        checkpoint_path: str,
+        *,
+        checkpoint_every: int = 0,
+        new_checkpoint_path: str | None = None,
+        stop_after: int | None = None,
+    ) -> QuenchHistory:
+        """Continue a checkpointed run to completion.
+
+        The model must be constructed with the same configuration as the
+        writer (the checkpoint's fingerprint is validated).  Returns the
+        *full* history — the loaded prefix plus the continued steps —
+        which bitwise-matches the history of an uninterrupted run.
+        """
+        ckpt = load_checkpoint(checkpoint_path)
+        state = ckpt.extra
+        fp = self._fingerprint()
+        saved_fp = {k: state.get(k) for k in fp}
+        if saved_fp != fp:
+            raise CheckpointError(
+                "checkpoint belongs to a different model configuration",
+                diagnostics={"saved": saved_fp, "current": fp},
+            )
+        if ckpt.controller_state is not None:
+            self.controller.load_state_vector(ckpt.controller_state)
+        if state.get("source_t_start") is not None:
+            self.source.t_start = state["source_t_start"]
+        hist = ckpt.history if ckpt.history is not None else QuenchHistory()
+        return self._run_loop(
+            ckpt.fields,
+            ckpt.t,
+            state,
+            hist,
+            new_checkpoint_path or checkpoint_path,
+            checkpoint_every,
+            stop_after,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_loop(
+        self,
+        fields,
+        t,
+        state,
+        hist,
+        checkpoint_path,
+        checkpoint_every,
+        stop_after,
+    ) -> QuenchHistory:
         mom = self.moments
+        ramp_steps = state["ramp_steps"]
+        quench_steps = state["quench_steps"]
+        post_steps = state["post_steps"]
+        E = state["E"]
+        J_prev = state["J_prev"]
+        macro = state["macro_steps"]
+
+        def snapshot(stage: str, k: int) -> dict:
+            return {
+                "stage": stage,
+                "k": int(k),
+                "E": float(E),
+                "J_prev": float(J_prev),
+                "macro_steps": int(macro),
+                "source_t_start": (
+                    None if stage == "ramp" else float(self.source.t_start)
+                ),
+                "ramp_steps": ramp_steps,
+                "quench_steps": quench_steps,
+                "post_steps": post_steps,
+                **self._fingerprint(),
+            }
+
+        def write_checkpoint(stage: str, k: int) -> None:
+            save_checkpoint(
+                checkpoint_path,
+                fields=fields,
+                t=t,
+                controller=self.controller,
+                history=hist,
+                extra=snapshot(stage, k),
+            )
+            self.solver.stats.record_event("checkpoint", t=t, stage=stage, step=k)
+
+        def after_step(stage: str, k: int) -> bool:
+            """Checkpoint cadence + stop budget; True means stop now."""
+            if stop_after is not None and macro >= stop_after:
+                if checkpoint_path:
+                    write_checkpoint(stage, k)
+                return True
+            if checkpoint_path and checkpoint_every and macro % checkpoint_every == 0:
+                write_checkpoint(stage, k)
+            return False
 
         def record(phase: str) -> None:
             s = mom.summary(fields)
             hist.record(t, s["n_e"], s["J_z"], E, s["T_e"], phase)
 
-        record("ramp")
         # --- phase 1: fixed E, wait for quasi-equilibrium current -----------
-        J_prev = 0.0
-        for _ in range(ramp_steps):
-            fields = self.solver.step(fields, self.dt, efield=E)
-            t += self.dt
-            J = mom.current_z(fields)
-            record("ramp")
-            if J_prev != 0.0 and abs(J - J_prev) < self.settle_tol * abs(J):
+        if state["stage"] == "ramp":
+            k = state["k"]
+            while k < ramp_steps:
+                fields = self._advance_macro(fields, t, E)
+                t += self.dt
+                macro += 1
+                J = mom.current_z(fields)
+                record("ramp")
+                settled = (
+                    J_prev != 0.0 and abs(J - J_prev) < self.settle_tol * abs(J)
+                )
                 J_prev = J
-                break
-            J_prev = J
+                k = ramp_steps if settled else k + 1
+                if after_step("ramp", k):
+                    return hist
+            self.source.t_start = t
+            state = {**state, "stage": "quench", "k": 0}
 
         # --- phases 2+3: E <- eta_Spitzer(T_e) J, with the cold pulse --------
         # The Ohmic feedback is integrated explicitly; under-relaxation keeps
         # the stiff eta(T_e) J coupling stable at quench time steps.
-        self.source.t_start = t
         rate_shapes = self._source_shapes
         relax = 0.3
-        for k in range(quench_steps + post_steps):
+        k = state["k"]
+        while k < quench_steps + post_steps:
             T_e = max(mom.electron_temperature(fields), 1e-3)
             eta_sp = spitzer_eta_code(self.units, T_e, self.Z)
             J = mom.current_z(fields)
@@ -218,11 +466,13 @@ class ThermalQuenchModel:
             sources = [
                 None if b is None else rate * b for b in rate_shapes
             ]
-            fields = self.solver.step(
-                fields, self.dt, efield=E, sources=sources
-            )
+            fields = self._advance_macro(fields, t, E, sources=sources)
             t += self.dt
+            macro += 1
             phase = "quench" if rate > 0.0 else "post"
             record(phase)
+            k += 1
+            if after_step("quench", k):
+                return hist
         self.final_fields = fields
         return hist

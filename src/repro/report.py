@@ -2,6 +2,10 @@
 
 The benchmarks print the same rows/series the paper's tables and figures
 report; these helpers keep that output consistent and dependency-free.
+:func:`solver_stats_table` and :func:`resilience_summary` render the
+solver's :class:`~repro.core.solver.NewtonStats` — including the
+resilience layer's retry/backoff counters, per-backend linear-solve
+counts and the structured event log.
 """
 
 from __future__ import annotations
@@ -82,4 +86,60 @@ def ascii_plot(
         f"{marks[i % len(marks)]} = {name}" for i, name in enumerate(series)
     )
     lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def solver_stats_table(stats, title: str = "solver work") -> str:
+    """One-row work/resilience table for a ``NewtonStats`` instance."""
+    headers = [
+        "steps",
+        "newton",
+        "jac",
+        "factor",
+        "solves",
+        "rejected",
+        "backoffs",
+        "converged",
+    ]
+    rows = [
+        [
+            stats.time_steps,
+            stats.newton_iterations,
+            stats.jacobian_builds,
+            stats.factorizations,
+            stats.solves,
+            stats.step_rejections,
+            stats.dt_backoffs,
+            "yes" if stats.converged_last else "NO",
+        ]
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def resilience_summary(stats, max_events: int = 12) -> str:
+    """Backend usage + the tail of the structured event log.
+
+    This is the operator-facing record the acceptance runs check: which
+    linear-solver backend served each solve, and every fallback /
+    step-rejection event the run survived.
+    """
+    lines = [solver_stats_table(stats)]
+    if stats.backend_solves:
+        rows = sorted(stats.backend_solves.items(), key=lambda kv: -kv[1])
+        lines.append("")
+        lines.append(
+            format_table(["backend", "solves served"], rows, title="linear-solver backends")
+        )
+    if stats.events:
+        lines.append("")
+        shown = stats.events[-max_events:]
+        skipped = len(stats.events) - len(shown)
+        title = "events" + (f" (last {len(shown)} of {len(stats.events)})" if skipped else "")
+        rows = []
+        for ev in shown:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in ev.items() if k != "kind"
+            )
+            rows.append([ev.get("kind", "?"), detail[:96]])
+        lines.append(format_table(["kind", "detail"], rows, title=title))
     return "\n".join(lines)

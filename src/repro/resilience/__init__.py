@@ -1,0 +1,44 @@
+"""Resilience layer: guards, adaptive retry/backoff, fallback solves,
+checkpoint/restart, and deterministic fault injection.
+
+The quench scenario (Fig. 5) is exactly the regime where implicit Landau
+solves fail in production — the cold pulse collapses ``T_e``,
+collisionality spikes, and a fixed-``dt`` quasi-Newton loop stalls or
+silently produces NaN/negative-density states.  This package makes every
+failure mode detectable (:mod:`.guards`), recoverable (:mod:`.controller`,
+:mod:`.fallback`), survivable (:mod:`.checkpoint`) and *testable*
+(:mod:`.faults`).
+"""
+
+from .exceptions import (
+    CheckpointError,
+    InjectedFault,
+    RECOVERABLE_ERRORS,
+    ResilienceError,
+    SolveFailure,
+    StepRejected,
+)
+from .guards import GuardConfig, GuardReference, StepGuard
+from .controller import TimeStepController
+from .fallback import DEFAULT_BACKENDS, FallbackSolverChain
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .faults import FaultInjector
+
+__all__ = [
+    "ResilienceError",
+    "StepRejected",
+    "SolveFailure",
+    "InjectedFault",
+    "CheckpointError",
+    "RECOVERABLE_ERRORS",
+    "GuardConfig",
+    "GuardReference",
+    "StepGuard",
+    "TimeStepController",
+    "FallbackSolverChain",
+    "DEFAULT_BACKENDS",
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "FaultInjector",
+]

@@ -1,0 +1,131 @@
+"""Checkpoint/restart for long quench runs (``.npz`` format).
+
+A checkpoint captures everything a resumed run needs to *bitwise*
+reproduce the uninterrupted trajectory: the per-species distribution
+vectors, the clock, the (RNG-free) time-step-controller state, the
+accumulated :class:`~repro.quench.model.QuenchHistory`, and an ``extra``
+dict of driver scalars (phase label, loop indices, the relaxed E field,
+...).  Everything lands in one ``np.savez_compressed`` archive; the extra
+dict is JSON so drivers can stash arbitrary scalar state without schema
+changes.
+
+Format (version 1)::
+
+    __version__   int
+    fields        (S, ndofs) float64   stacked species distributions
+    t             float                simulation clock
+    controller    (5,) float64         TimeStepController.state_vector()
+    extra_json    str                  JSON dict of driver state
+    hist_t/n_e/J/E/T_e  float64 arrays QuenchHistory columns (optional)
+    hist_phase    unicode array        QuenchHistory phase labels
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .exceptions import CheckpointError
+
+CHECKPOINT_VERSION = 1
+
+_HIST_COLS = ("t", "n_e", "J", "E", "T_e")
+
+
+@dataclass
+class Checkpoint:
+    """In-memory image of a checkpoint file."""
+
+    fields: list
+    t: float
+    controller_state: np.ndarray | None = None
+    history: object | None = None  # a QuenchHistory when present
+    extra: dict = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+
+def save_checkpoint(
+    path: str,
+    *,
+    fields: list,
+    t: float,
+    controller=None,
+    history=None,
+    extra: dict | None = None,
+) -> str:
+    """Write a checkpoint; atomic (write to ``path + '.tmp'``, then rename).
+
+    ``controller`` may be a :class:`TimeStepController` (its
+    ``state_vector()`` is stored) or a pre-built state vector; ``history``
+    a :class:`~repro.quench.model.QuenchHistory` or ``None``.
+    Returns ``path``.
+    """
+    arrays: dict = {
+        "__version__": np.array(CHECKPOINT_VERSION),
+        "fields": np.stack([np.asarray(x, dtype=float) for x in fields]),
+        "t": np.array(float(t)),
+        "extra_json": np.array(json.dumps(extra or {})),
+    }
+    if controller is not None:
+        vec = controller.state_vector() if hasattr(controller, "state_vector") else controller
+        arrays["controller"] = np.asarray(vec, dtype=float)
+    if history is not None:
+        for col in _HIST_COLS:
+            arrays[f"hist_{col}"] = np.asarray(getattr(history, col), dtype=float)
+        arrays["hist_phase"] = np.asarray(history.phase, dtype="U16")
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    if not os.path.exists(path):
+        raise CheckpointError("checkpoint file not found", diagnostics={"path": path})
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["__version__"])
+            if version != CHECKPOINT_VERSION:
+                raise CheckpointError(
+                    "unsupported checkpoint version",
+                    diagnostics={"path": path, "version": version,
+                                 "supported": CHECKPOINT_VERSION},
+                )
+            fields = [np.array(row) for row in data["fields"]]
+            t = float(data["t"])
+            controller_state = (
+                np.array(data["controller"]) if "controller" in data else None
+            )
+            extra = json.loads(str(data["extra_json"]))
+            history = None
+            if "hist_t" in data:
+                from ..quench.model import QuenchHistory
+
+                history = QuenchHistory(
+                    t=list(map(float, data["hist_t"])),
+                    n_e=list(map(float, data["hist_n_e"])),
+                    J=list(map(float, data["hist_J"])),
+                    E=list(map(float, data["hist_E"])),
+                    T_e=list(map(float, data["hist_T_e"])),
+                    phase=[str(p) for p in data["hist_phase"]],
+                )
+    except CheckpointError:
+        raise
+    except Exception as err:
+        raise CheckpointError(
+            "failed to read checkpoint",
+            diagnostics={"path": path, "error": f"{type(err).__name__}: {err}"},
+        ) from err
+    return Checkpoint(
+        fields=fields,
+        t=t,
+        controller_state=controller_state,
+        history=history,
+        extra=extra,
+        version=version,
+    )

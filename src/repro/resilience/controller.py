@@ -1,0 +1,125 @@
+"""Adaptive time-step controller with retry/backoff and re-growth.
+
+The quench drives the solver through a collisionality spike (cold pulse
+collapses ``T_e``, the collision frequency scales like ``T^-3/2``) where a
+fixed ``dt`` quasi-Newton loop stalls.  The controller implements the
+standard production policy:
+
+* on a rejected step (non-convergence, tripped guard, linear-solver
+  breakdown) multiply ``dt`` by ``backoff`` (default: halve) and retry,
+  down to ``dt_min`` and within a ``max_retries`` per-step budget;
+* after ``growth_streak`` consecutive *easy* accepts (quasi-Newton
+  converged in at most ``easy_newton`` iterations) multiply ``dt`` by
+  ``growth`` back up toward ``dt_max``.
+
+The controller state is a handful of floats/ints — deliberately RNG-free —
+so it serializes losslessly into a checkpoint and a resumed run replays
+the exact same ``dt`` sequence (the bitwise-restart guarantee).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .exceptions import SolveFailure
+
+#: state_dict fields, in serialization order (see state_vector/load_state)
+_STATE_FIELDS = ("dt", "streak", "retries_this_step", "total_accepts", "total_backoffs")
+
+
+@dataclass
+class TimeStepController:
+    """Retry/backoff dt controller; mutable state lives on the instance."""
+
+    dt_init: float
+    dt_min: float | None = None
+    dt_max: float | None = None
+    backoff: float = 0.5
+    growth: float = 2.0
+    growth_streak: int = 3
+    easy_newton: int = 8
+    max_retries: int = 12
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.dt_init) and self.dt_init > 0):
+            raise ValueError(f"dt_init must be positive and finite, got {self.dt_init}")
+        if self.dt_min is None:
+            self.dt_min = self.dt_init / 1024.0
+        if self.dt_max is None:
+            self.dt_max = self.dt_init
+        if not (0 < self.dt_min <= self.dt_init <= self.dt_max):
+            raise ValueError(
+                f"need 0 < dt_min <= dt_init <= dt_max, got "
+                f"({self.dt_min}, {self.dt_init}, {self.dt_max})"
+            )
+        if not (0.0 < self.backoff < 1.0):
+            raise ValueError(f"backoff must be in (0, 1), got {self.backoff}")
+        if self.growth <= 1.0:
+            raise ValueError(f"growth must exceed 1, got {self.growth}")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+        # mutable state
+        self.dt = float(self.dt_init)
+        self.streak = 0
+        self.retries_this_step = 0
+        self.total_accepts = 0
+        self.total_backoffs = 0
+
+    # ------------------------------------------------------------------
+    def on_reject(self, reason: str = "") -> float:
+        """Record a rejected step; shrink ``dt`` and return the new value.
+
+        Raises :class:`SolveFailure` when the per-step retry budget or the
+        ``dt_min`` floor is exhausted — at that point retrying cannot help.
+        """
+        self.streak = 0
+        self.retries_this_step += 1
+        if self.retries_this_step > self.max_retries:
+            raise SolveFailure(
+                "time-step retry budget exhausted",
+                diagnostics={
+                    "retries": self.retries_this_step - 1,
+                    "max_retries": self.max_retries,
+                    "dt": self.dt,
+                    "reason": reason,
+                },
+            )
+        if self.dt <= self.dt_min * (1.0 + 1e-12):
+            raise SolveFailure(
+                "dt_min reached without an accepted step",
+                diagnostics={"dt": self.dt, "dt_min": self.dt_min, "reason": reason},
+            )
+        self.dt = max(self.dt * self.backoff, self.dt_min)
+        self.total_backoffs += 1
+        return self.dt
+
+    def on_accept(self, newton_iterations: int = 0) -> float:
+        """Record an accepted step; maybe re-grow ``dt``; return it."""
+        self.retries_this_step = 0
+        self.total_accepts += 1
+        if newton_iterations <= self.easy_newton:
+            self.streak += 1
+        else:
+            self.streak = 0
+        if self.streak >= self.growth_streak and self.dt < self.dt_max:
+            self.dt = min(self.dt * self.growth, self.dt_max)
+            self.streak = 0
+        return self.dt
+
+    # --- checkpoint support -------------------------------------------------
+    def state_dict(self) -> dict:
+        return {k: getattr(self, k) for k in _STATE_FIELDS}
+
+    def load_state(self, state: dict) -> None:
+        for k in _STATE_FIELDS:
+            setattr(self, k, type(getattr(self, k))(state[k]))
+
+    def state_vector(self):
+        """The state as a flat float array (for ``.npz`` checkpoints)."""
+        import numpy as np
+
+        return np.array([float(getattr(self, k)) for k in _STATE_FIELDS])
+
+    def load_state_vector(self, vec) -> None:
+        self.load_state({k: v for k, v in zip(_STATE_FIELDS, vec)})

@@ -1,0 +1,124 @@
+"""Linear-solver fallback chain: band LU -> splu -> GMRES.
+
+The paper's custom RCM band LU (section III-G) is the fast path; SuperLU
+is the robust general direct solve; preconditioned GMRES
+(:mod:`repro.sparse.iterative`) is the last resort that survives band
+structure the direct solvers choke on.  The chain presents the standard
+``factory(A) -> solve(b)`` plug of
+:class:`repro.core.solver.ImplicitLandauSolver` and, per right-hand side,
+walks the backends in order until one produces a finite solution —
+recording which backend served each solve (and every failure it skipped
+over) into the solver's :class:`~repro.core.solver.NewtonStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .exceptions import SolveFailure
+
+
+def _band_backend(A: sp.spmatrix) -> Callable[[np.ndarray], np.ndarray]:
+    from ..sparse.band import band_solver_factory
+
+    return band_solver_factory(A)
+
+
+def _splu_backend(A: sp.spmatrix) -> Callable[[np.ndarray], np.ndarray]:
+    return spla.splu(sp.csc_matrix(A)).solve
+
+
+def _gmres_backend(A: sp.spmatrix) -> Callable[[np.ndarray], np.ndarray]:
+    from ..sparse.iterative import landau_iterative_solver_factory
+
+    return landau_iterative_solver_factory()(A)
+
+
+#: name -> factory, in fallback order
+DEFAULT_BACKENDS: tuple = (
+    ("band", _band_backend),
+    ("splu", _splu_backend),
+    ("gmres", _gmres_backend),
+)
+
+
+class FallbackSolverChain:
+    """A resilient ``factory(A) -> solve(b)`` linear-solver plug.
+
+    Parameters
+    ----------
+    backends:
+        ordered ``(name, factory)`` pairs; defaults to
+        ``band -> splu -> gmres``.
+    stats:
+        optional stats sink — any object with a ``backend_solves`` dict
+        and a ``record_event(kind, **info)`` method (duck-typed so
+        :class:`~repro.core.solver.NewtonStats` works directly).  The
+        solver binds its own stats when given ``linear_solver="fallback"``.
+
+    A factorization is attempted lazily per backend and cached only on
+    success, so a backend that failed transiently (e.g. an injected fault)
+    is retried from scratch on the next right-hand side.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[tuple[str, Callable]] | None = None,
+        stats=None,
+    ):
+        self.backends = list(backends) if backends is not None else list(DEFAULT_BACKENDS)
+        if not self.backends:
+            raise ValueError("need at least one linear-solver backend")
+        self.stats = stats
+
+    def bind(self, stats) -> "FallbackSolverChain":
+        """Attach a stats sink after construction (returns self)."""
+        self.stats = stats
+        return self
+
+    # ------------------------------------------------------------------
+    def _record_solve(self, name: str) -> None:
+        if self.stats is not None:
+            counts = self.stats.backend_solves
+            counts[name] = counts.get(name, 0) + 1
+
+    def _record_failure(self, name: str, err: Exception) -> None:
+        if self.stats is not None:
+            self.stats.record_event(
+                "linear_fallback", backend=name, error=f"{type(err).__name__}: {err}"
+            )
+
+    def __call__(self, A: sp.spmatrix) -> Callable[[np.ndarray], np.ndarray]:
+        A = sp.csr_matrix(A)
+        factors: dict[str, Callable] = {}
+
+        def solve(b: np.ndarray) -> np.ndarray:
+            errors = []
+            for name, factory in self.backends:
+                try:
+                    if name not in factors:
+                        factors[name] = factory(A)
+                    x = np.asarray(factors[name](b), dtype=float)
+                    if not np.all(np.isfinite(x)):
+                        raise FloatingPointError(
+                            f"backend {name!r} returned a non-finite solution"
+                        )
+                except Exception as err:  # noqa: BLE001 - each backend may
+                    # fail its own way (LinAlgError, ZeroDivisionError,
+                    # RuntimeError, injected faults); record and move on.
+                    factors.pop(name, None)
+                    errors.append((name, f"{type(err).__name__}: {err}"))
+                    self._record_failure(name, err)
+                    continue
+                self._record_solve(name)
+                return x
+            raise SolveFailure(
+                "all linear-solver backends failed",
+                diagnostics={"errors": errors, "n": A.shape[0]},
+            )
+
+        return solve

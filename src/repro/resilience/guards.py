@@ -1,0 +1,169 @@
+"""Post-step state guards: NaN/Inf, negative density, moment drift.
+
+The implicit Landau solve conserves density, momentum and energy to solver
+tolerance (the paper's three discrete conservation laws), so a drift in
+the :class:`~repro.core.moments.Moments` of an *accepted* step is a solver
+failure even when every number is finite.  The guard compares the post-step
+moments against a pre-step reference and raises a structured
+:class:`~repro.resilience.exceptions.StepRejected` whose diagnostics name
+the tripped check.
+
+Which moments are conserved depends on the drive terms:
+
+* collisions only            -> density, momentum and energy all conserved;
+* E-field on (``efield != 0``) -> the field does work and injects momentum,
+  only density is conserved;
+* particle sources on         -> nothing is conserved; only finiteness and
+  positivity are checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .exceptions import StepRejected
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..core.moments import Moments
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Tolerances for the step guards (all in code units).
+
+    ``density_rtol``/``energy_rtol`` bound the relative per-step drift;
+    ``momentum_atol`` is absolute because the conserved value is often
+    exactly zero (symmetric initial states).  ``density_floor`` is the
+    smallest admissible per-species density moment; the default ``0`` means
+    any non-positive density is rejected.
+    """
+
+    density_rtol: float = 1e-6
+    momentum_atol: float = 1e-6
+    energy_rtol: float = 1e-5
+    density_floor: float = 0.0
+    check_conservation: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("density_rtol", "momentum_atol", "energy_rtol"):
+            v = getattr(self, name)
+            if not (np.isfinite(v) and v > 0):
+                raise ValueError(f"{name} must be a positive finite number, got {v}")
+
+
+@dataclass
+class GuardReference:
+    """Pre-step moment snapshot the post-step state is checked against."""
+
+    densities: np.ndarray
+    momentum_z: float
+    energy: float
+    extras: dict = field(default_factory=dict)
+
+
+class StepGuard:
+    """Checks every accepted Newton step before the driver commits it.
+
+    Parameters
+    ----------
+    moments:
+        a :class:`repro.core.moments.Moments` evaluator bound to the run's
+        function space and species set.
+    config:
+        guard tolerances; defaults to :class:`GuardConfig`.
+    """
+
+    def __init__(self, moments: "Moments", config: GuardConfig | None = None):
+        self.moments = moments
+        self.config = config or GuardConfig()
+        self.trips = 0  # total rejections issued (diagnostic counter)
+
+    # ------------------------------------------------------------------
+    def reference(self, fields: list[np.ndarray]) -> GuardReference:
+        """Snapshot the conserved moments of the pre-step state."""
+        return GuardReference(
+            densities=self.moments.density(fields),
+            momentum_z=self.moments.total_momentum_z(fields),
+            energy=self.moments.total_energy(fields),
+        )
+
+    # ------------------------------------------------------------------
+    def _reject(self, reason: str, **diagnostics) -> None:
+        self.trips += 1
+        raise StepRejected(reason, diagnostics=diagnostics)
+
+    def check(
+        self,
+        fields: list[np.ndarray],
+        reference: GuardReference | None = None,
+        *,
+        dt: float | None = None,
+        efield: float = 0.0,
+        has_sources: bool = False,
+    ) -> None:
+        """Validate a post-step state; raise :class:`StepRejected` if bad.
+
+        ``reference`` (from :meth:`reference` on the pre-step state)
+        enables the conservation checks; without it only finiteness and
+        positivity are verified.
+        """
+        cfg = self.config
+        for s_idx, x in enumerate(fields):
+            if not np.all(np.isfinite(x)):
+                bad = int(np.count_nonzero(~np.isfinite(x)))
+                self._reject(
+                    "non-finite distribution after step",
+                    guard="finite",
+                    species=s_idx,
+                    bad_dofs=bad,
+                    dt=dt,
+                )
+        densities = self.moments.density(fields)
+        for s_idx, n in enumerate(densities):
+            if not n > cfg.density_floor:
+                self._reject(
+                    "non-positive species density after step",
+                    guard="positivity",
+                    species=s_idx,
+                    density=float(n),
+                    floor=cfg.density_floor,
+                    dt=dt,
+                )
+        if reference is None or not cfg.check_conservation:
+            return
+        if not has_sources:
+            for s_idx, (n0, n1) in enumerate(zip(reference.densities, densities)):
+                drift = abs(n1 - n0) / max(abs(n0), 1e-300)
+                if drift > cfg.density_rtol:
+                    self._reject(
+                        "density drift over step",
+                        guard="density",
+                        species=s_idx,
+                        drift=float(drift),
+                        rtol=cfg.density_rtol,
+                        dt=dt,
+                    )
+        if efield == 0.0 and not has_sources:
+            pz = self.moments.total_momentum_z(fields)
+            dp = abs(pz - reference.momentum_z)
+            if dp > cfg.momentum_atol:
+                self._reject(
+                    "momentum drift over step",
+                    guard="momentum",
+                    drift=float(dp),
+                    atol=cfg.momentum_atol,
+                    dt=dt,
+                )
+            en = self.moments.total_energy(fields)
+            de = abs(en - reference.energy) / max(abs(reference.energy), 1e-300)
+            if de > cfg.energy_rtol:
+                self._reject(
+                    "energy drift over step",
+                    guard="energy",
+                    drift=float(de),
+                    rtol=cfg.energy_rtol,
+                    dt=dt,
+                )

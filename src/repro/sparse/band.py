@@ -86,21 +86,35 @@ class BandMatrix:
         return out
 
 
-def band_factor(bm: BandMatrix, work_counter: dict | None = None) -> BandMatrix:
+def band_factor(
+    bm: BandMatrix, work_counter: dict | None = None, pivot_tol: float = 0.0
+) -> BandMatrix:
     """In-place outer-product banded LU (GVL Alg. 4.3.1), no pivoting.
 
     After return ``W`` holds ``U`` on and above the diagonal and the unit-
     lower-triangular multipliers below it.  ``work_counter`` (optional dict)
     accumulates ``flops`` for the performance model.
+
+    Without pivoting a tiny (not just zero) pivot silently amplifies
+    rounding error through the whole factorization; ``pivot_tol > 0``
+    raises :class:`numpy.linalg.LinAlgError` when a pivot falls below
+    ``pivot_tol`` times the largest in-band magnitude, so a fallback chain
+    can hand the system to a pivoted solver instead.
     """
     W, B = bm.W, bm.B
     n = W.shape[0]
     flops = 0
     s0, s1 = W.strides
+    amax = float(np.max(np.abs(W))) if W.size else 0.0
     for k in range(n - 1):
         piv = W[k, B]
         if piv == 0.0:
             raise ZeroDivisionError(f"zero pivot at step {k} (no pivoting)")
+        if pivot_tol > 0.0 and abs(piv) <= pivot_tol * amax:
+            raise np.linalg.LinAlgError(
+                f"near-zero pivot {piv:.3e} at step {k} "
+                f"(|piv| <= {pivot_tol:g} * {amax:.3e}; needs pivoting)"
+            )
         m = min(B, n - 1 - k)  # active sub-column length
         if m == 0:
             continue
@@ -146,13 +160,20 @@ def band_solve(bm: BandMatrix, b: np.ndarray) -> np.ndarray:
 class BandSolver:
     """RCM-permuted band LU solver for one sparse matrix."""
 
-    def __init__(self, A: sp.spmatrix, work_counter: dict | None = None):
+    def __init__(
+        self,
+        A: sp.spmatrix,
+        work_counter: dict | None = None,
+        pivot_tol: float = 0.0,
+    ):
         A = sp.csr_matrix(A)
         self.n = A.shape[0]
         self.perm = rcm_permutation(A)
         Ap = A[self.perm][:, self.perm]
         self.B = bandwidth(Ap)
-        self.bm = band_factor(BandMatrix.from_sparse(Ap, self.B), work_counter)
+        self.bm = band_factor(
+            BandMatrix.from_sparse(Ap, self.B), work_counter, pivot_tol=pivot_tol
+        )
         self.iperm = np.empty_like(self.perm)
         self.iperm[self.perm] = np.arange(self.n)
 
@@ -164,10 +185,10 @@ class BandSolver:
         return self.solve(b)
 
 
-def band_solver_factory(A: sp.spmatrix):
+def band_solver_factory(A: sp.spmatrix, pivot_tol: float = 0.0):
     """Factory with the solver-plug signature used by
     :class:`repro.core.solver.ImplicitLandauSolver`."""
-    return BandSolver(A)
+    return BandSolver(A, pivot_tol=pivot_tol)
 
 
 class BlockDiagonalBandSolver:

@@ -155,12 +155,20 @@ def gmres(
 
 
 def landau_iterative_solver_factory(
-    block_size: int = 64, restart: int = 30, rtol: float = 1e-10
+    block_size: int = 64,
+    restart: int = 30,
+    rtol: float = 1e-10,
+    raise_on_stall: bool = True,
 ):
     """A linear-solver factory for :class:`ImplicitLandauSolver`.
 
     ``ImplicitLandauSolver(op, linear_solver=landau_iterative_solver_factory())``
     swaps the direct band/LU solve for preconditioned GMRES.
+
+    A stalled solve raises ``RuntimeError`` so a fallback chain (or the
+    adaptive time-step controller) can recover; ``raise_on_stall=False``
+    returns the best iterate instead.  Either way the returned ``solve``
+    exposes the most recent :class:`IterativeStats` as ``solve.last_stats``.
     """
 
     def factory(A: sp.spmatrix):
@@ -168,12 +176,14 @@ def landau_iterative_solver_factory(
 
         def solve(b: np.ndarray) -> np.ndarray:
             x, stats = gmres(A, b, M=M, restart=restart, rtol=rtol)
-            if not stats.converged:
+            solve.last_stats = stats
+            if not stats.converged and raise_on_stall:
                 raise RuntimeError(
                     f"GMRES stalled at {stats.residual_history[-1]:.2e}"
                 )
             return x
 
+        solve.last_stats = None
         return solve
 
     return factory

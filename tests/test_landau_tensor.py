@@ -72,11 +72,14 @@ class TestAzimuthalIntegrals:
                 limit=200,
             )[0]
 
+        # rel 1e-7 (not tighter): at small B/A the adaptive quadrature
+        # reference itself only agrees with the elliptic-integral forms to
+        # a few 1e-8 relative (hypothesis finds frac ~ 1e-3 cases)
         assert I10 == pytest.approx(num(0, 1), rel=1e-9, abs=1e-12)
-        assert I11 == pytest.approx(num(1, 1), rel=1e-8, abs=1e-10)
+        assert I11 == pytest.approx(num(1, 1), rel=1e-7, abs=1e-9)
         assert I30 == pytest.approx(num(0, 3), rel=1e-9, abs=1e-12)
-        assert I31 == pytest.approx(num(1, 3), rel=1e-8, abs=1e-10)
-        assert I32 == pytest.approx(num(2, 3), rel=1e-8, abs=1e-10)
+        assert I31 == pytest.approx(num(1, 3), rel=1e-7, abs=1e-9)
+        assert I32 == pytest.approx(num(2, 3), rel=1e-7, abs=1e-9)
 
     def test_B_zero_limits(self):
         """On-axis: cos-weighted integrals vanish, others are elementary."""

@@ -43,6 +43,27 @@ class TestSpecies:
         with pytest.raises(ValueError):
             SpeciesSet([electron(), electron()])
 
+    def test_validation_non_positive_density(self):
+        with pytest.raises(ValueError):
+            Species("bad", charge=1.0, mass=1.0, density=0.0)
+        with pytest.raises(ValueError):
+            Species("bad", charge=1.0, mass=1.0, density=-0.5)
+
+    def test_validation_rejects_non_finite(self):
+        """NaN slips through ordering comparisons; it must be caught
+        explicitly rather than propagate into the operator assembly."""
+        nan = float("nan")
+        for kwargs in (
+            {"mass": nan},
+            {"density": nan},
+            {"temperature": nan},
+            {"temperature": float("inf")},
+        ):
+            with pytest.raises(ValueError):
+                Species("bad", charge=1.0, **{"mass": 1.0, **kwargs})
+        with pytest.raises(ValueError):
+            Species("bad", charge=nan, mass=1.0)
+
     def test_quasineutral(self):
         assert SpeciesSet([electron(), deuterium()]).quasineutral()
         assert not SpeciesSet([electron(density=2.0), deuterium()]).quasineutral()

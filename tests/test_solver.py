@@ -4,8 +4,44 @@ linear-solver equivalence, advection, sources."""
 import numpy as np
 import pytest
 
-from repro.core import ImplicitLandauSolver, Moments
+from repro.core import ImplicitLandauSolver, Moments, NewtonStats
 from repro.core.maxwellian import maxwellian_rz
+
+
+class TestNewtonStatsMerge:
+    def test_merge_sums_counters(self):
+        a = NewtonStats(time_steps=1, newton_iterations=5, jacobian_builds=5,
+                        factorizations=5, solves=5)
+        b = NewtonStats(time_steps=2, newton_iterations=7, jacobian_builds=7,
+                        factorizations=6, solves=6)
+        a.merge(b)
+        assert (a.time_steps, a.newton_iterations, a.jacobian_builds,
+                a.factorizations, a.solves) == (3, 12, 12, 11, 11)
+
+    def test_merge_keeps_convergence_flag_and_history(self):
+        """Regression: merge used to drop converged_last and
+        residual_history entirely — a failed partial solve merged into an
+        aggregate looked converged and lost its residual trace."""
+        ok = NewtonStats(converged_last=True, residual_history=[1e-3, 1e-6])
+        bad = NewtonStats(converged_last=False, residual_history=[1e-2])
+        ok.merge(bad)
+        assert ok.converged_last is False
+        assert ok.residual_history == [1e-3, 1e-6, 1e-2]
+        # merging a converged run into a failed one must not clear the flag
+        bad2 = NewtonStats(converged_last=False)
+        bad2.merge(NewtonStats(converged_last=True))
+        assert bad2.converged_last is False
+
+    def test_merge_resilience_counters(self):
+        a = NewtonStats(step_rejections=1, dt_backoffs=1,
+                        backend_solves={"band": 2})
+        b = NewtonStats(step_rejections=2, dt_backoffs=3,
+                        backend_solves={"band": 1, "splu": 4})
+        b.record_event("linear_fallback", backend="band")
+        a.merge(b)
+        assert a.step_rejections == 3 and a.dt_backoffs == 4
+        assert a.backend_solves == {"band": 3, "splu": 4}
+        assert a.events == [{"kind": "linear_fallback", "backend": "band"}]
 
 
 @pytest.fixture()
