@@ -11,6 +11,7 @@ from .landau_tensor import (
     azimuthal_integrals,
 )
 from .operator import LandauOperator
+from .options import AssemblyOptions, PairTableMemoryError
 from .moments import Moments
 from .solver import ImplicitLandauSolver, NewtonStats
 from .grids import GridSet, MultiGridImplicitSolver, plan_grids, grid_cost_table
@@ -30,6 +31,8 @@ __all__ = [
     "landau_tensors_cyl",
     "azimuthal_integrals",
     "LandauOperator",
+    "AssemblyOptions",
+    "PairTableMemoryError",
     "Moments",
     "ImplicitLandauSolver",
     "NewtonStats",

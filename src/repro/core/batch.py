@@ -26,6 +26,7 @@ import scipy.sparse.linalg as spla
 
 from ..fem.function_space import FunctionSpace
 from .operator import LandauOperator
+from .options import AssemblyOptions
 from .species import SpeciesSet
 
 
@@ -68,10 +69,11 @@ class BatchedVertexSolver:
         nu0: float = 1.0,
         rtol: float = 1e-8,
         max_newton: int = 50,
+        options: AssemblyOptions | None = None,
     ):
         self.fs = fs
         self.species = species
-        self.op = LandauOperator(fs, species, nu0=nu0)
+        self.op = LandauOperator(fs, species, nu0=nu0, options=options)
         self.rtol = float(rtol)
         self.max_newton = int(max_newton)
         self.stats = BatchStats()
@@ -84,7 +86,7 @@ class BatchedVertexSolver:
         and ``G_K (B, N, 2)`` via batched matmuls on the shared tables.
         """
         op = self.op
-        if op._tables is None:  # pragma: no cover - large-N fallback
+        if not op.pair_tables_cached:  # pragma: no cover - large-N fallback
             raise RuntimeError("batched solve requires cached pair tables")
         B, S, n = states.shape
         N = op.N
@@ -96,7 +98,6 @@ class BatchedVertexSolver:
         vals = np.einsum("qb,xeb->xeq", fs.B, cd).reshape(B, S, N)
         g_ref = np.einsum("qbd,xeb->xeqd", fs.Dref, cd)
         g_phys = g_ref * fs.inv_jac[None, :, None, :]
-        ne, nq = fs.qweights.shape
         gr = g_phys[..., 0].reshape(B, S, N)
         gz = g_phys[..., 1].reshape(B, S, N)
 
@@ -106,21 +107,9 @@ class BatchedVertexSolver:
         T_Kr = np.einsum("s,bsn->bn", z2om, gr)
         T_Kz = np.einsum("s,bsn->bn", z2om, gz)
 
-        w = op.w
-        t = op._tables
         # one big GEMM per tensor component over the whole batch
-        wTD = (w * T_D).T  # (N, B)
-        G_D = np.empty((B, N, 2, 2))
-        G_D[:, :, 0, 0] = (t["Drr"] @ wTD).T
-        G_D[:, :, 0, 1] = (t["Drz"] @ wTD).T
-        G_D[:, :, 1, 0] = G_D[:, :, 0, 1]
-        G_D[:, :, 1, 1] = (t["Dzz"] @ wTD).T
-        wKr = (w * T_Kr).T
-        wKz = (w * T_Kz).T
-        G_K = np.empty((B, N, 2))
-        G_K[:, :, 0] = (t["Krr"] @ wKr + t["Krz"] @ wKz).T
-        G_K[:, :, 1] = (t["Kzr"] @ wKr + t["Kzz"] @ wKz).T
-        return G_D, G_K
+        w = op.w
+        return op.batched_fields(w * T_D, w * T_Kr, w * T_Kz)
 
     # ------------------------------------------------------------------
     def step(self, states: np.ndarray, dt: float) -> np.ndarray:
@@ -156,8 +145,8 @@ class BatchedVertexSolver:
             self.stats.equivalent_unbatched_launches += int(active.sum())
             delta = np.zeros(B)
             for b in np.nonzero(active)[0]:
-                for s_idx in range(len(self.species)):
-                    L = self.op.species_matrix(s_idx, G_D[b], G_K[b])
+                mats = self.op.species_matrices(G_D[b], G_K[b])
+                for s_idx, L in enumerate(mats):
                     lu = spla.splu((M - dt * L).tocsc())
                     self.stats.factorizations += 1
                     x = lu.solve(M @ fn[b, s_idx])

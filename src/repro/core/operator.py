@@ -18,26 +18,49 @@ species) Jacobian.  The complexity is O(N^2 S) instead of the naive
 O(N^2 S^2).
 
 The pair tables U^D/U^K depend only on quadrature geometry, so on the CPU
-they are computed once per mesh and cached (7 unique components, each an
-``N x N`` matrix); the field computation is then seven dense matvecs.  The
-CUDA-model kernel (:mod:`repro.core.kernel_cuda`) instead recomputes the
-tensors on the fly exactly as Algorithm 1 does on a GPU — the two paths are
-verified against each other in the test suite.
+they are computed once per mesh and cached.  Two exact symmetries of the
+axisymmetric tensors — ``U^K_rz == U^D_rz`` and ``U^K_zz == U^D_zz`` —
+mean only *five* distinct ``N x N`` components exist; the default packed
+layout stores exactly those five, contiguously, so the field computation
+is a handful of contiguous BLAS contractions (the legacy layout kept
+seven strided views into the full ``(N, N, 2, 2)`` tensors).  The CUDA-
+model kernel (:mod:`repro.core.kernel_cuda`) instead recomputes the
+tensors on the fly exactly as Algorithm 1 does on a GPU — the two paths
+are verified against each other in the test suite
+(``tests/test_backend_equivalence.py``).
+
+Assembly behaviour (structure caching, packed tables, thread counts,
+table precision, memory budget) is configured by
+:class:`repro.core.options.AssemblyOptions`; the operator's ``counters``
+dict records structure reuses and parallel builds for
+:class:`repro.core.solver.NewtonStats`.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import scipy.sparse as sp
 
-from ..fem.assembly import assemble_coefficient_operator, assemble_mass
+from ..fem.assembly import (
+    assemble_coefficient_operator,
+    assemble_mass,
+    element_mass_blocks,
+    get_scatter_map,
+)
 from ..fem.function_space import FunctionSpace
 from .landau_tensor import landau_tensors_cyl
+from .options import AssemblyOptions, PairTableMemoryError
 from .species import SpeciesSet
 
-#: default cap on cached pair-table memory (bytes); above this the field
-#: computation falls back to chunked on-the-fly tensor evaluation.
+#: default cap on cached pair-table memory (bytes); kept as a module
+#: constant for backwards compatibility — the effective limit is
+#: ``AssemblyOptions.memory_budget``.
 PAIR_TABLE_MEMORY_LIMIT = 400 * 1024 * 1024
+
+#: packed component order: Drr, Drz, Dzz, Krr, Kzr (Krz/Kzz alias Drz/Dzz)
+_PACKED_COMPONENTS = ("Drr", "Drz", "Dzz", "Krr", "Kzr")
 
 
 class LandauOperator:
@@ -53,7 +76,10 @@ class LandauOperator:
         collision prefactor; 1.0 in code units (``nu_ee = 1``).
     cache_pair_tables:
         force (True/False) or auto-decide (None) caching of the O(N^2)
-        tensor tables.
+        tensor tables; overrides ``options.cache_pair_tables``.
+    options:
+        assembly configuration; defaults to
+        :meth:`AssemblyOptions.from_env`.
     """
 
     def __init__(
@@ -62,10 +88,17 @@ class LandauOperator:
         species: SpeciesSet,
         nu0: float = 1.0,
         cache_pair_tables: bool | None = None,
+        options: AssemblyOptions | None = None,
     ):
         self.fs = fs
         self.species = species
         self.nu0 = float(nu0)
+        self.options = options if options is not None else AssemblyOptions.from_env()
+        #: assembly work accounting consumed by ``NewtonStats``:
+        #: ``structure_reuses`` counts matrix builds served by the cached
+        #: scatter structure, ``parallel_builds`` counts thread-pool
+        #: dispatched table/field builds.
+        self.counters = {"structure_reuses": 0, "parallel_builds": 0}
 
         N = fs.n_integration_points
         self.N = N
@@ -74,13 +107,33 @@ class LandauOperator:
         self.w = fs.qweights.reshape(N)
 
         if cache_pair_tables is None:
-            cache_pair_tables = 7 * N * N * 8 <= PAIR_TABLE_MEMORY_LIMIT
-        self._tables = self._build_pair_tables() if cache_pair_tables else None
+            cache_pair_tables = self.options.cache_pair_tables
+        table_bytes = self.options.table_bytes(N)
+        if cache_pair_tables is None:
+            cache_pair_tables = table_bytes <= self.options.memory_budget
+        elif cache_pair_tables and table_bytes > self.options.memory_budget:
+            raise PairTableMemoryError(
+                f"cached pair tables need {table_bytes / 1e6:.2f} MB for "
+                f"N={N} integration points, above the assembly memory budget "
+                f"of {self.options.memory_budget / 1e6:.2f} MB; raise "
+                "AssemblyOptions.memory_budget (REPRO_ASSEMBLY_MEMORY_BUDGET), "
+                "use table_dtype='float32', or leave cache_pair_tables=None "
+                "to fall back to chunked on-the-fly evaluation"
+            )
+
+        self._tables: dict[str, np.ndarray] | None = None  # legacy layout
+        self._packed: np.ndarray | None = None  # (5, N, N) packed layout
+        if cache_pair_tables:
+            if self.options.packed_tables:
+                self._packed = self._build_packed_tables()
+            else:
+                self._tables = self._build_pair_tables()
+        self._scatter = get_scatter_map(fs) if self.options.cache_structure else None
         self._mass: sp.csr_matrix | None = None
 
     # ------------------------------------------------------------------
     def _build_pair_tables(self) -> dict[str, np.ndarray]:
-        """Cache the 7 unique components of U^D/U^K over all point pairs."""
+        """Legacy cache: 7 component views of U^D/U^K over all point pairs."""
         UD, UK = landau_tensors_cyl(
             self.r[:, None], self.z[:, None], self.r[None, :], self.z[None, :]
         )
@@ -94,9 +147,52 @@ class LandauOperator:
             "Kzz": UK[..., 1, 1],
         }
 
+    def _fill_packed_rows(self, out: np.ndarray, i0: int, i1: int) -> None:
+        """Compute packed-table rows ``[i0, i1)`` (thread-safe: disjoint
+        output slices, numpy releases the GIL in the contractions)."""
+        UD, UK = landau_tensors_cyl(
+            self.r[i0:i1, None],
+            self.z[i0:i1, None],
+            self.r[None, :],
+            self.z[None, :],
+        )
+        out[0, i0:i1] = UD[..., 0, 0]
+        out[1, i0:i1] = UD[..., 0, 1]
+        out[2, i0:i1] = UD[..., 1, 1]
+        out[3, i0:i1] = UK[..., 0, 0]
+        out[4, i0:i1] = UK[..., 1, 0]
+
+    def _build_packed_tables(self) -> np.ndarray:
+        """Cache the 5 unique components contiguously, optionally building
+        row blocks in parallel (the scratch tensors, not the result,
+        dominate the working set, so blocks follow the memory budget)."""
+        N = self.N
+        out = np.empty((5, N, N), dtype=self.options.dtype)
+        nthreads = self.options.resolved_threads()
+        chunk = min(self.options.row_chunk(N), N)
+        starts = list(range(0, N, chunk))
+        if nthreads > 1 and len(starts) == 1:
+            # split anyway so the pool has work to balance
+            chunk = max(1, -(-N // nthreads))
+            starts = list(range(0, N, chunk))
+        blocks = [(i0, min(i0 + chunk, N)) for i0 in starts]
+        if nthreads > 1 and len(blocks) > 1:
+            with ThreadPoolExecutor(max_workers=nthreads) as pool:
+                futures = [
+                    pool.submit(self._fill_packed_rows, out, i0, i1)
+                    for i0, i1 in blocks
+                ]
+                for f in futures:
+                    f.result()
+            self.counters["parallel_builds"] += 1
+        else:
+            for i0, i1 in blocks:
+                self._fill_packed_rows(out, i0, i1)
+        return out
+
     @property
     def pair_tables_cached(self) -> bool:
-        return self._tables is not None
+        return self._tables is not None or self._packed is not None
 
     # ------------------------------------------------------------------
     def beta_sums(self, fields: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
@@ -119,6 +215,66 @@ class LandauOperator:
             T_K[1] += (z2 / s.mass) * g[:, :, 1].reshape(N)
         return T_D, T_K
 
+    # ------------------------------------------------------------------
+    def _table_products(
+        self, wTD: np.ndarray, wTKr: np.ndarray, wTKz: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """The seven table contractions for column-stacked sources.
+
+        Inputs have shape ``(N, K)`` (``K`` = 1 for a single state, B for
+        a batch).  Returns ``(Drr_TD, Drz_TD, Dzz_TD, Krr_Kr, Kzr_Kr,
+        Krz_Kz, Kzz_Kz)``, each ``(N, K)`` float64.  Requires cached
+        tables.
+        """
+        if self._packed is not None:
+            P = self._packed
+            dt = P.dtype
+            K = wTD.shape[1]
+            # Krz == Drz and Kzz == Dzz: evaluate both sources against the
+            # shared table in one contraction so each table streams once
+            rhs_dk = np.concatenate([wTD, wTKz], axis=1).astype(dt, copy=False)
+            rhs_d = rhs_dk[:, :K]
+            rhs_k = wTKr.astype(dt, copy=False)
+            Y_rz = P[1] @ rhs_dk  # (N, 2K): Drz@wTD | Krz@wTKz
+            Y_zz = P[2] @ rhs_dk  # (N, 2K): Dzz@wTD | Kzz@wTKz
+            return (
+                (P[0] @ rhs_d).astype(np.float64, copy=False),
+                Y_rz[:, :K].astype(np.float64, copy=False),
+                Y_zz[:, :K].astype(np.float64, copy=False),
+                (P[3] @ rhs_k).astype(np.float64, copy=False),
+                (P[4] @ rhs_k).astype(np.float64, copy=False),
+                Y_rz[:, K:].astype(np.float64, copy=False),
+                Y_zz[:, K:].astype(np.float64, copy=False),
+            )
+        t = self._tables
+        if t is None:
+            raise RuntimeError("table products require cached pair tables")
+        return (
+            t["Drr"] @ wTD,
+            t["Drz"] @ wTD,
+            t["Dzz"] @ wTD,
+            t["Krr"] @ wTKr,
+            t["Kzr"] @ wTKr,
+            t["Krz"] @ wTKz,
+            t["Kzz"] @ wTKz,
+        )
+
+    @staticmethod
+    def _fields_from_products(products) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble ``G_D (..., N, 2, 2)`` / ``G_K (..., N, 2)`` from the
+        seven contractions, each shaped ``(N, K)`` (K batch columns)."""
+        Drr, Drz, Dzz, Krr, Kzr, Krz, Kzz = products
+        N, K = Drr.shape
+        G_D = np.zeros((K, N, 2, 2))
+        G_K = np.zeros((K, N, 2))
+        G_D[:, :, 0, 0] = Drr.T
+        G_D[:, :, 0, 1] = Drz.T
+        G_D[:, :, 1, 0] = G_D[:, :, 0, 1]
+        G_D[:, :, 1, 1] = Dzz.T
+        G_K[:, :, 0] = (Krr + Krz).T
+        G_K[:, :, 1] = (Kzr + Kzz).T
+        return G_D, G_K
+
     def fields(
         self, fields: list[np.ndarray]
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -128,21 +284,18 @@ class LandauOperator:
         wTKr = self.w * T_K[0]
         wTKz = self.w * T_K[1]
         N = self.N
+        if self.pair_tables_cached:
+            G_D, G_K = self._fields_from_products(
+                self._table_products(wTD[:, None], wTKr[:, None], wTKz[:, None])
+            )
+            return G_D[0], G_K[0]
+        # chunked on-the-fly evaluation (large N); the row chunk follows
+        # the assembly memory budget instead of a hard-coded constant
         G_D = np.zeros((N, 2, 2))
         G_K = np.zeros((N, 2))
-        if self._tables is not None:
-            t = self._tables
-            G_D[:, 0, 0] = t["Drr"] @ wTD
-            G_D[:, 0, 1] = t["Drz"] @ wTD
-            G_D[:, 1, 0] = G_D[:, 0, 1]
-            G_D[:, 1, 1] = t["Dzz"] @ wTD
-            G_K[:, 0] = t["Krr"] @ wTKr + t["Krz"] @ wTKz
-            G_K[:, 1] = t["Kzr"] @ wTKr + t["Kzz"] @ wTKz
-            return G_D, G_K
-        # chunked on-the-fly evaluation (large N)
-        chunk = max(1, int(5e7 // max(N, 1)))
-        for i0 in range(0, N, chunk):
-            i1 = min(i0 + chunk, N)
+        chunk = min(self.options.row_chunk(N), N)
+
+        def eval_rows(i0: int, i1: int) -> None:
             UD, UK = landau_tensors_cyl(
                 self.r[i0:i1, None],
                 self.z[i0:i1, None],
@@ -155,7 +308,36 @@ class LandauOperator:
             G_D[i0:i1, 1, 1] = UD[..., 1, 1] @ wTD
             G_K[i0:i1, 0] = UK[..., 0, 0] @ wTKr + UK[..., 0, 1] @ wTKz
             G_K[i0:i1, 1] = UK[..., 1, 0] @ wTKr + UK[..., 1, 1] @ wTKz
+
+        blocks = [(i0, min(i0 + chunk, N)) for i0 in range(0, N, chunk)]
+        nthreads = self.options.resolved_threads()
+        if nthreads > 1 and len(blocks) > 1:
+            with ThreadPoolExecutor(max_workers=nthreads) as pool:
+                futures = [pool.submit(eval_rows, i0, i1) for i0, i1 in blocks]
+                for f in futures:
+                    f.result()
+            self.counters["parallel_builds"] += 1
+        else:
+            for i0, i1 in blocks:
+                eval_rows(i0, i1)
         return G_D, G_K
+
+    def batched_fields(
+        self, wTD: np.ndarray, wTKr: np.ndarray, wTKz: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``G_D (B, N, 2, 2)`` / ``G_K (B, N, 2)`` for a batch of
+        weighted source vectors of shape ``(B, N)`` — one big contraction
+        per table component over the whole batch (the
+        :class:`~repro.core.batch.BatchedVertexSolver` hot path)."""
+        if not self.pair_tables_cached:
+            raise RuntimeError("batched field evaluation requires cached pair tables")
+        return self._fields_from_products(
+            self._table_products(
+                np.ascontiguousarray(wTD.T),
+                np.ascontiguousarray(wTKr.T),
+                np.ascontiguousarray(wTKz.T),
+            )
+        )
 
     # ------------------------------------------------------------------
     def species_coefficients(
@@ -176,7 +358,62 @@ class LandauOperator:
         """The frozen-coefficient collision matrix ``L_a`` for one species,
         such that ``M df_a/dt = L_a f_a`` (plus field/source terms)."""
         D_q, K_q = self.species_coefficients(s_index, G_D, G_K)
-        return assemble_coefficient_operator(self.fs, D_q, K_q)
+        return assemble_coefficient_operator(
+            self.fs, D_q, K_q, structure=self._scatter_for_build()
+        )
+
+    def _scatter_for_build(self):
+        if self._scatter is not None:
+            self.counters["structure_reuses"] += 1
+        return self._scatter
+
+    def species_matrices(
+        self, G_D: np.ndarray, G_K: np.ndarray
+    ) -> list[sp.csr_matrix]:
+        """All species' collision matrices for given fields.
+
+        With structure caching on, this exploits that every species' weak
+        form is the *same pair* of element integrals scaled by per-species
+        constants: the diffusion and friction element blocks are built
+        once, scattered once each through the cached structure, and the S
+        species matrices are then axpy combinations of the two data
+        vectors sharing one sparsity — no per-species assembly at all.
+        """
+        if self._scatter is None:
+            return [
+                self.species_matrix(a, G_D, G_K)
+                for a in range(len(self.species))
+            ]
+        sm = self._scatter
+        fs = self.fs
+        ne, nq = fs.qweights.shape
+        gphys = sm.gphys
+        w = fs.qweights
+        CeD = np.einsum(
+            "eq,eqad,eqdc,eqbc->eab",
+            w,
+            gphys,
+            G_D.reshape(ne, nq, 2, 2),
+            gphys,
+            optimize=True,
+        )
+        CeK = np.einsum(
+            "eq,eqad,eqd,qb->eab",
+            w,
+            gphys,
+            G_K.reshape(ne, nq, 2),
+            fs.B,
+            optimize=True,
+        )
+        dD = sm.scatter_data(CeD)
+        dK = sm.scatter_data(CeK)
+        out = []
+        for s in self.species:
+            fac_k = self.nu0 * s.charge**2 / s.mass
+            fac_d = -self.nu0 * s.charge**2 / s.mass**2
+            out.append(sm.matrix(fac_d * dD + fac_k * dK))
+            self.counters["structure_reuses"] += 1
+        return out
 
     def jacobian(self, fields: list[np.ndarray]) -> list[sp.csr_matrix]:
         """All species' collision matrices about the state ``fields``.
@@ -185,25 +422,26 @@ class LandauOperator:
         pattern); this returns the per-species blocks.
         """
         G_D, G_K = self.fields(fields)
-        return [
-            self.species_matrix(a, G_D, G_K) for a in range(len(self.species))
-        ]
+        return self.species_matrices(G_D, G_K)
 
     def apply(self, fields: list[np.ndarray]) -> list[np.ndarray]:
         """The weak-form collision operator applied to the current state:
         ``(psi, C_a(f))`` for each species (nonlinear evaluation)."""
         G_D, G_K = self.fields(fields)
-        return [
-            self.species_matrix(a, G_D, G_K) @ fields[a]
-            for a in range(len(self.species))
-        ]
+        mats = self.species_matrices(G_D, G_K)
+        return [mats[a] @ fields[a] for a in range(len(self.species))]
 
     # ------------------------------------------------------------------
     @property
     def mass_matrix(self) -> sp.csr_matrix:
         """The (r-weighted) mass matrix, cached."""
         if self._mass is None:
-            self._mass = assemble_mass(self.fs)
+            if self._scatter is not None:
+                self._mass = self._scatter_for_build().assemble(
+                    element_mass_blocks(self.fs)
+                )
+            else:
+                self._mass = assemble_mass(self.fs)
         return self._mass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

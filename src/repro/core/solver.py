@@ -31,13 +31,21 @@ from .operator import LandauOperator
 class NewtonStats:
     """Work counters — the throughput figure of merit is Newton iterations.
 
-    Besides the raw work counters, the stats record the resilience layer's
-    activity: ``step_rejections``/``dt_backoffs`` count retried steps,
+    Besides the raw work counters, the stats record the assembly fast
+    path's activity (``structure_reuses`` counts matrix builds served by
+    the cached scatter structure, ``parallel_builds`` counts thread-pool
+    dispatched table/field builds) and the resilience layer's:
+    ``step_rejections``/``dt_backoffs`` count retried steps,
     ``backend_solves`` maps each linear-solver backend name to the number
     of right-hand sides it served (populated by
     :class:`repro.resilience.fallback.FallbackSolverChain`), and
-    ``events`` is an append-only log of structured
-    ``{"kind": ..., ...}`` dicts (fallbacks, rejections, checkpoints).
+    ``events`` is a log of structured ``{"kind": ..., ...}`` dicts
+    (fallbacks, rejections, checkpoints).
+
+    ``events`` and ``residual_history`` are *bounded rings*: long quench
+    runs merge thousands of substep stats, so only the most recent
+    ``max_events``/``max_residuals`` entries are kept and
+    ``events_dropped``/``residuals_dropped`` count the evicted ones.
     """
 
     time_steps: int = 0
@@ -51,9 +59,30 @@ class NewtonStats:
     dt_backoffs: int = 0
     backend_solves: dict = field(default_factory=dict)
     events: list = field(default_factory=list)
+    structure_reuses: int = 0
+    parallel_builds: int = 0
+    max_events: int = 256
+    max_residuals: int = 512
+    events_dropped: int = 0
+    residuals_dropped: int = 0
+
+    def _trim(self) -> None:
+        excess = len(self.events) - self.max_events
+        if excess > 0:
+            del self.events[:excess]
+            self.events_dropped += excess
+        excess = len(self.residual_history) - self.max_residuals
+        if excess > 0:
+            del self.residual_history[:excess]
+            self.residuals_dropped += excess
 
     def record_event(self, kind: str, **info) -> None:
         self.events.append({"kind": kind, **info})
+        self._trim()
+
+    def record_residual(self, value: float) -> None:
+        self.residual_history.append(value)
+        self._trim()
 
     def merge(self, other: "NewtonStats") -> None:
         self.time_steps += other.time_steps
@@ -65,9 +94,14 @@ class NewtonStats:
         self.residual_history.extend(other.residual_history)
         self.step_rejections += other.step_rejections
         self.dt_backoffs += other.dt_backoffs
+        self.structure_reuses += other.structure_reuses
+        self.parallel_builds += other.parallel_builds
         for name, count in other.backend_solves.items():
             self.backend_solves[name] = self.backend_solves.get(name, 0) + count
         self.events.extend(other.events)
+        self.events_dropped += other.events_dropped
+        self.residuals_dropped += other.residuals_dropped
+        self._trim()
 
 
 def _splu_factory(A: sp.csr_matrix) -> Callable[[np.ndarray], np.ndarray]:
@@ -121,9 +155,18 @@ class ImplicitLandauSolver:
         elif linear_solver == "splu":
             self._factor = _splu_factory
         elif linear_solver == "band":
-            from ..sparse.band import band_solver_factory
+            if getattr(operator, "options", None) is not None and (
+                operator.options.cache_structure
+            ):
+                # reuse the RCM ordering and band symbolic setup between
+                # refactorizations — the Jacobian sparsity is fixed
+                from ..sparse.band import CachedBandSolverFactory
 
-            self._factor = band_solver_factory
+                self._factor = CachedBandSolverFactory()
+            else:
+                from ..sparse.band import band_solver_factory
+
+                self._factor = band_solver_factory
         elif linear_solver == "fallback":
             from ..resilience.fallback import FallbackSolverChain
 
@@ -165,6 +208,7 @@ class ImplicitLandauSolver:
         A = self.advection if efield != 0.0 else None
 
         step_stats = NewtonStats(time_steps=1)
+        op_counters0 = dict(getattr(self.op, "counters", {}))
         norms0 = [max(np.linalg.norm(x), self.atol) for x in fn]
         converged = False
         for _it in range(self.max_newton):
@@ -203,7 +247,7 @@ class ImplicitLandauSolver:
                 )
                 fk1.append(x)
             fk = fk1
-            step_stats.residual_history.append(delta)
+            step_stats.record_residual(delta)
             if not np.isfinite(delta):
                 # a NaN/Inf residual never recovers under a stationary
                 # iteration — stop burning Newton iterations and let the
@@ -213,6 +257,13 @@ class ImplicitLandauSolver:
                 converged = True
                 break
         step_stats.converged_last = converged
+        op_counters = getattr(self.op, "counters", {})
+        step_stats.structure_reuses = op_counters.get(
+            "structure_reuses", 0
+        ) - op_counters0.get("structure_reuses", 0)
+        step_stats.parallel_builds = op_counters.get(
+            "parallel_builds", 0
+        ) - op_counters0.get("parallel_builds", 0)
         self.stats.merge(step_stats)
         # the long-lived stats expose the *last* step's convergence state
         # and residual trace (merge ANDs/extends, which is right for

@@ -13,10 +13,12 @@ from .mesh import Mesh
 from .dofmap import DofMap
 from .function_space import FunctionSpace
 from .assembly import (
+    ScatterMap,
     assemble_mass,
     assemble_weighted_mass,
     assemble_z_advection,
     assemble_coefficient_operator,
+    get_scatter_map,
 )
 from .vtk import mesh_to_vtk, field_to_vtk
 
@@ -27,10 +29,12 @@ __all__ = [
     "Mesh",
     "DofMap",
     "FunctionSpace",
+    "ScatterMap",
     "assemble_mass",
     "assemble_weighted_mass",
     "assemble_z_advection",
     "assemble_coefficient_operator",
+    "get_scatter_map",
     "mesh_to_vtk",
     "field_to_vtk",
 ]

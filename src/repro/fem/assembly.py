@@ -6,6 +6,14 @@ taking physical moments).  Assembly produces full-space COO triplets which
 are folded through the hanging-node constraints (``P^T A P``) — the CPU
 "MatSetValues" path; the GPU-style COO/atomic paths live in
 :mod:`repro.sparse`.
+
+:class:`ScatterMap` is the amortized version of that pipeline: the COO
+pattern, the constraint folding and the COO→CSR deduplication are symbolic
+(state-independent), so they are precomputed once per mesh as a sparse
+linear map from element-block values straight to reduced-CSR ``data``.
+Every subsequent assembly on the same space is then a single sparse
+matvec plus a structure-sharing CSR wrap — the "pattern frozen, values
+only" reassembly the paper's GPU path relies on.
 """
 
 from __future__ import annotations
@@ -26,6 +34,101 @@ def _scatter(fs: FunctionSpace, Ce: np.ndarray) -> sp.csr_matrix:
         (Ce.ravel(), (rows, cols)), shape=(fs.dofmap.n_full, fs.dofmap.n_full)
     ).tocsr()
     return fs.dofmap.reduce_matrix(A_full)
+
+
+class ScatterMap:
+    """Precomputed element→reduced-CSR scatter for one function space.
+
+    The assembled reduced matrix is linear in the element blocks:
+    ``A = P^T (scatter Ce) P``, so its CSR ``data`` is ``T @ Ce.ravel()``
+    for a fixed sparse ``T`` of shape ``(nnz, ne * nb * nb)`` whose
+    entries are products of constraint weights.  ``T``, the reduced CSR
+    ``indptr``/``indices`` and the physical basis gradients are computed
+    once here; :meth:`assemble` then costs one sparse matvec per build
+    and reuses the index arrays across every matrix it returns (species
+    blocks share one sparsity, so they all share one structure).
+
+    Returned matrices share ``indptr``/``indices`` with the map — they
+    must not be mutated in place (standard scipy operations never do).
+    """
+
+    def __init__(self, fs: FunctionSpace):
+        dm = fs.dofmap
+        nodes = dm.cell_nodes
+        ne, nb = nodes.shape
+        rows = np.repeat(nodes, nb, axis=1).ravel()
+        cols = np.tile(nodes, (1, nb)).ravel()
+
+        P = dm.P.tocsr()
+        counts = np.diff(P.indptr)
+        cnt_r = counts[rows]
+        cnt_c = counts[cols]
+        reps = cnt_r * cnt_c  # expansion factor of each COO triplet
+        E = int(reps.sum())
+        src = np.repeat(np.arange(rows.size, dtype=np.int64), reps)
+        first = np.concatenate(([0], np.cumsum(reps)[:-1]))
+        t = np.arange(E, dtype=np.int64) - first[src]
+        a, b = np.divmod(t, cnt_c[src])
+        ridx = P.indptr[rows][src] + a
+        cidx = P.indptr[cols][src] + b
+        frees_r = P.indices[ridx]
+        frees_c = P.indices[cidx]
+        weights = P.data[ridx] * P.data[cidx]
+
+        order = np.lexsort((frees_c, frees_r))
+        fr = frees_r[order]
+        fc = frees_c[order]
+        new = np.empty(E, dtype=bool)
+        if E:
+            new[0] = True
+            new[1:] = (fr[1:] != fr[:-1]) | (fc[1:] != fc[:-1])
+        pos = np.cumsum(new) - 1  # reduced-CSR data slot of each expansion
+
+        self.n_free = dm.n_free
+        self.nnz = int(new.sum())
+        self.indices = fc[new].astype(np.int32)
+        row_counts = np.bincount(fr[new], minlength=self.n_free)
+        self.indptr = np.concatenate(
+            ([0], np.cumsum(row_counts))
+        ).astype(np.int32)
+        self.T = sp.csr_matrix(
+            (weights[order], (pos, src[order])),
+            shape=(self.nnz, rows.size),
+        )
+        # geometry caches shared by the coefficient-operator fast path
+        self.gphys = np.einsum("qbd,ed->eqbd", fs.Dref, fs.inv_jac)
+        self.builds = 0
+
+    # ------------------------------------------------------------------
+    def scatter_data(self, Ce: np.ndarray) -> np.ndarray:
+        """Reduced-CSR ``data`` for element blocks ``(ne, nb, nb)``."""
+        return self.T @ np.ascontiguousarray(Ce).reshape(-1)
+
+    def matrix(self, data: np.ndarray) -> sp.csr_matrix:
+        """Wrap a ``data`` vector with the cached structure (zero copies
+        of the index arrays)."""
+        A = sp.csr_matrix(
+            (data, self.indices, self.indptr),
+            shape=(self.n_free, self.n_free),
+            copy=False,
+        )
+        A.has_sorted_indices = True
+        A.has_canonical_format = True
+        self.builds += 1
+        return A
+
+    def assemble(self, Ce: np.ndarray) -> sp.csr_matrix:
+        """Structure-reusing equivalent of the COO→CSR ``_scatter`` path."""
+        return self.matrix(self.scatter_data(Ce))
+
+
+def get_scatter_map(fs: FunctionSpace) -> ScatterMap:
+    """The (lazily built, per-space cached) :class:`ScatterMap` of ``fs``."""
+    sm = getattr(fs, "_scatter_map", None)
+    if sm is None:
+        sm = ScatterMap(fs)
+        fs._scatter_map = sm
+    return sm
 
 
 def element_mass_blocks(fs: FunctionSpace, coefficient: np.ndarray | None = None) -> np.ndarray:
@@ -63,6 +166,7 @@ def assemble_coefficient_operator(
     fs: FunctionSpace,
     D_q: np.ndarray,
     K_q: np.ndarray,
+    structure: "ScatterMap | None" = None,
 ) -> sp.csr_matrix:
     """Assemble the Landau weak form for given point-wise coefficients.
 
@@ -76,6 +180,10 @@ def assemble_coefficient_operator(
         ``(ne, nq, 2, 2)`` diffusion tensor at quadrature points.
     K_q:
         ``(ne, nq, 2)`` friction vector at quadrature points.
+    structure:
+        optional precomputed :class:`ScatterMap`; when given, the sparse
+        structure work (COO build, dedup, constraint folding) is skipped
+        and only the ``data`` vector is recomputed.
     """
     ne, nq = fs.qweights.shape
     if D_q.shape != (ne, nq, 2, 2) or K_q.shape != (ne, nq, 2):
@@ -84,10 +192,16 @@ def assemble_coefficient_operator(
             f"got {D_q.shape} and {K_q.shape}"
         )
     # physical gradients of basis: (e, q, b, d)
-    gphys = np.einsum("qbd,ed->eqbd", fs.Dref, fs.inv_jac)
+    gphys = (
+        structure.gphys
+        if structure is not None
+        else np.einsum("qbd,ed->eqbd", fs.Dref, fs.inv_jac)
+    )
     w = fs.qweights
     Ce = np.einsum("eq,eqad,eqdc,eqbc->eab", w, gphys, D_q, gphys, optimize=True)
     Ce += np.einsum("eq,eqad,eqd,qb->eab", w, gphys, K_q, fs.B, optimize=True)
+    if structure is not None:
+        return structure.assemble(Ce)
     return _scatter(fs, Ce)
 
 

@@ -28,6 +28,7 @@ from ..units import DEFAULT_UNITS, UnitSystem
 from ..core.maxwellian import species_maxwellian
 from ..core.moments import Moments
 from ..core.operator import LandauOperator
+from ..core.options import AssemblyOptions
 from ..core.solver import ImplicitLandauSolver
 from ..core.species import Species, SpeciesSet, electron
 from ..resilience import (
@@ -102,6 +103,7 @@ def measure_resistivity(
     max_newton: int = 50,
     controller: TimeStepController | None = None,
     guard: StepGuard | GuardConfig | bool = True,
+    assembly_options: "AssemblyOptions | None" = None,
 ) -> dict:
     """Run an e + ion(Z) plasma to quasi-equilibrium; return eta = E/J.
 
@@ -131,7 +133,7 @@ def measure_resistivity(
         [s.thermal_velocity for s in spc], **(mesh_kwargs or {})
     )
     fs = FunctionSpace(mesh, order=order)
-    op = LandauOperator(fs, spc)
+    op = LandauOperator(fs, spc, options=assembly_options)
     solver = ImplicitLandauSolver(
         op, rtol=rtol, linear_solver=linear_solver, max_newton=max_newton
     )
@@ -206,6 +208,7 @@ class ThermalQuenchModel:
         controller: TimeStepController | None = None,
         guard: StepGuard | GuardConfig | bool = True,
         dt_min: float | None = None,
+        assembly_options: "AssemblyOptions | None" = None,
     ):
         _validate_stepping(dt, 1, "ThermalQuenchModel")
         if not (np.isfinite(Z) and Z >= 1.0):
@@ -241,7 +244,7 @@ class ThermalQuenchModel:
         mesh = landau_mesh(vths, **kw)
         self.fs = FunctionSpace(mesh, order=order)
         self.order = int(order)
-        self.op = LandauOperator(self.fs, self.species)
+        self.op = LandauOperator(self.fs, self.species, options=assembly_options)
         self.solver = ImplicitLandauSolver(
             self.op, rtol=rtol, linear_solver=linear_solver, max_newton=max_newton
         )

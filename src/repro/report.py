@@ -97,6 +97,8 @@ def solver_stats_table(stats, title: str = "solver work") -> str:
         "jac",
         "factor",
         "solves",
+        "struct-reuse",
+        "par-builds",
         "rejected",
         "backoffs",
         "converged",
@@ -108,6 +110,8 @@ def solver_stats_table(stats, title: str = "solver work") -> str:
             stats.jacobian_builds,
             stats.factorizations,
             stats.solves,
+            getattr(stats, "structure_reuses", 0),
+            getattr(stats, "parallel_builds", 0),
             stats.step_rejections,
             stats.dt_backoffs,
             "yes" if stats.converged_last else "NO",
@@ -133,8 +137,10 @@ def resilience_summary(stats, max_events: int = 12) -> str:
     if stats.events:
         lines.append("")
         shown = stats.events[-max_events:]
-        skipped = len(stats.events) - len(shown)
-        title = "events" + (f" (last {len(shown)} of {len(stats.events)})" if skipped else "")
+        dropped = getattr(stats, "events_dropped", 0)
+        total = len(stats.events) + dropped
+        skipped = total - len(shown)
+        title = "events" + (f" (last {len(shown)} of {total})" if skipped else "")
         rows = []
         for ev in shown:
             detail = ", ".join(

@@ -9,6 +9,7 @@ from .coloring import color_elements, colored_assembly_plan
 from .band import (
     BandMatrix,
     BandSolver,
+    CachedBandSolverFactory,
     band_factor,
     band_solve,
     band_solver_factory,
@@ -30,6 +31,7 @@ __all__ = [
     "colored_assembly_plan",
     "BandMatrix",
     "BandSolver",
+    "CachedBandSolverFactory",
     "band_factor",
     "band_solve",
     "band_solver_factory",

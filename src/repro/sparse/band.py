@@ -191,6 +191,99 @@ def band_solver_factory(A: sp.spmatrix, pivot_tol: float = 0.0):
     return BandSolver(A, pivot_tol=pivot_tol)
 
 
+@dataclass
+class _BandStructure:
+    """Symbolic band setup for one sparsity pattern: the RCM permutation,
+    the half-bandwidth and the flat scatter positions of each CSR entry in
+    the band buffer."""
+
+    perm: np.ndarray
+    iperm: np.ndarray
+    B: int
+    pos: np.ndarray
+    indptr: np.ndarray
+    indices: np.ndarray
+
+
+class _CachedBandSolver:
+    """Solve plug returned by :class:`CachedBandSolverFactory`."""
+
+    def __init__(self, bm: BandMatrix, st: _BandStructure):
+        self.bm = bm
+        self._st = st
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        y = band_solve(self.bm, np.asarray(b, dtype=float)[self._st.perm])
+        return y[self._st.iperm]
+
+    def __call__(self, b: np.ndarray) -> np.ndarray:
+        return self.solve(b)
+
+
+class CachedBandSolverFactory:
+    """Band-solver factory that reuses the RCM ordering and band symbolic
+    setup between refactorizations.
+
+    Newton iterations refactor matrices whose sparsity never changes (and
+    the per-species blocks of the multi-species Jacobian share a pattern
+    too), so the RCM ordering, the bandwidth and the CSR→band scatter are
+    computed once per pattern and only the numeric band fill + LU run per
+    call.  A small LRU keyed on the CSR pattern holds the structures;
+    results are identical to :class:`BandSolver`.
+    """
+
+    def __init__(self, pivot_tol: float = 0.0, max_patterns: int = 8):
+        self.pivot_tol = float(pivot_tol)
+        self.max_patterns = int(max_patterns)
+        self._cache: dict = {}
+        self._order: list = []
+        self.symbolic_setups = 0
+        self.symbolic_reuses = 0
+
+    def _structure(self, A: sp.csr_matrix) -> _BandStructure:
+        key = (A.shape[0], A.nnz, hash(A.indptr.tobytes()) ^ hash(A.indices.tobytes()))
+        st = self._cache.get(key)
+        if st is not None and np.array_equal(st.indptr, A.indptr) and np.array_equal(
+            st.indices, A.indices
+        ):
+            self.symbolic_reuses += 1
+            return st
+        n = A.shape[0]
+        perm = rcm_permutation(A)
+        iperm = np.empty_like(perm)
+        iperm[perm] = np.arange(n)
+        row = np.repeat(np.arange(n, dtype=np.int64), np.diff(A.indptr))
+        pr = iperm[row]
+        pc = iperm[A.indices]
+        B = int(np.max(np.abs(pr - pc))) if A.nnz else 0
+        pos = pr * (2 * B + 1) + (B + pc - pr)
+        st = _BandStructure(
+            perm=perm,
+            iperm=iperm,
+            B=B,
+            pos=pos,
+            indptr=A.indptr.copy(),
+            indices=A.indices.copy(),
+        )
+        self._cache[key] = st
+        self._order.append(key)
+        if len(self._order) > self.max_patterns:
+            self._cache.pop(self._order.pop(0), None)
+        self.symbolic_setups += 1
+        return st
+
+    def __call__(self, A: sp.spmatrix) -> _CachedBandSolver:
+        A = sp.csr_matrix(A)
+        A.sum_duplicates()
+        A.sort_indices()
+        st = self._structure(A)
+        n = A.shape[0]
+        W = np.zeros((n, 2 * st.B + 1))
+        W.ravel()[st.pos] = A.data  # pattern entries are unique: direct fill
+        bm = band_factor(BandMatrix(W=W, B=st.B), pivot_tol=self.pivot_tol)
+        return _CachedBandSolver(bm, st)
+
+
 class BlockDiagonalBandSolver:
     """Batched band solver for block-diagonal (multi-species) systems.
 

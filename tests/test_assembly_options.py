@@ -1,0 +1,238 @@
+"""AssemblyOptions plumbing, the memory-budget guard, the cached scatter
+structure, the cached band factory and the bounded NewtonStats rings."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (
+    AssemblyOptions,
+    ImplicitLandauSolver,
+    LandauOperator,
+    NewtonStats,
+    PairTableMemoryError,
+)
+from repro.core.maxwellian import species_maxwellian
+from repro.core.options import DEFAULT_MEMORY_BUDGET
+from repro.fem.assembly import (
+    ScatterMap,
+    _scatter,
+    element_mass_blocks,
+    get_scatter_map,
+)
+from repro.sparse import BandSolver, CachedBandSolverFactory
+
+
+class TestOptionsParsing:
+    def test_defaults(self):
+        o = AssemblyOptions()
+        assert o.cache_structure and o.packed_tables
+        assert o.num_threads == 0 and o.resolved_threads() == 1
+        assert o.table_dtype == "float64"
+        assert o.memory_budget == DEFAULT_MEMORY_BUDGET
+        assert o.cache_pair_tables is None
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASSEMBLY_CACHE_STRUCTURE", "0")
+        monkeypatch.setenv("REPRO_ASSEMBLY_PACKED_TABLES", "off")
+        monkeypatch.setenv("REPRO_ASSEMBLY_THREADS", "4")
+        monkeypatch.setenv("REPRO_ASSEMBLY_TABLE_DTYPE", "float32")
+        monkeypatch.setenv("REPRO_ASSEMBLY_MEMORY_BUDGET", "1e6")
+        monkeypatch.setenv("REPRO_ASSEMBLY_CACHE_TABLES", "1")
+        o = AssemblyOptions.from_env()
+        assert not o.cache_structure and not o.packed_tables
+        assert o.num_threads == 4 and o.resolved_threads() == 4
+        assert o.table_dtype == "float32" and o.dtype == np.float32
+        assert o.memory_budget == 1_000_000
+        assert o.cache_pair_tables is True
+
+    def test_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ASSEMBLY_THREADS", "4")
+        assert AssemblyOptions.from_env(num_threads=2).num_threads == 2
+
+    def test_invalid_values_raise(self, monkeypatch):
+        with pytest.raises(ValueError):
+            AssemblyOptions(table_dtype="float16")
+        with pytest.raises(ValueError):
+            AssemblyOptions(num_threads=-1)
+        with pytest.raises(ValueError):
+            AssemblyOptions(memory_budget=0)
+        monkeypatch.setenv("REPRO_ASSEMBLY_CACHE_TABLES", "maybe")
+        with pytest.raises(ValueError):
+            AssemblyOptions.from_env()
+        monkeypatch.setenv("REPRO_ASSEMBLY_CACHE_TABLES", "auto")
+        monkeypatch.setenv("REPRO_ASSEMBLY_PACKED_TABLES", "maybe")
+        with pytest.raises(ValueError):
+            AssemblyOptions.from_env()
+
+    def test_legacy_is_seed_configuration(self):
+        o = AssemblyOptions.legacy()
+        assert not o.cache_structure and not o.packed_tables
+        assert o.resolved_threads() == 1
+
+
+class TestMemoryBudget:
+    def test_forced_cache_over_budget_raises(self, fs_q3, electron_species):
+        opts = AssemblyOptions(memory_budget=1024)
+        with pytest.raises(PairTableMemoryError) as err:
+            LandauOperator(fs_q3, electron_species, cache_pair_tables=True, options=opts)
+        # the guard must be actionable, not a bare MemoryError
+        assert "REPRO_ASSEMBLY_MEMORY_BUDGET" in str(err.value)
+
+    def test_auto_falls_back_to_chunked(self, fs_q3, electron_species, electron_maxwellian):
+        opts = AssemblyOptions(memory_budget=1024)
+        op = LandauOperator(fs_q3, electron_species, options=opts)
+        assert not op.pair_tables_cached
+        ref = LandauOperator(fs_q3, electron_species).fields([electron_maxwellian])
+        got = op.fields([electron_maxwellian])
+        for a, b in zip(got, ref):
+            assert np.allclose(a, b, atol=1e-12 * max(np.abs(b).max(), 1))
+
+    def test_row_chunk_regression(self):
+        """The chunk heuristic must scale with the budget and never hit 0
+        (the seed's hard-coded ``5e7`` pair constant is gone)."""
+        o = AssemblyOptions(memory_budget=1)
+        assert o.row_chunk(10_000) == 1
+        assert AssemblyOptions().row_chunk(896) > 896  # default: one block
+        n = 896
+        per_row_bytes = AssemblyOptions(memory_budget=10**6).row_chunk(n)
+        assert 1 <= per_row_bytes < n
+
+    def test_table_bytes_accounts_for_layout(self):
+        n = 100
+        packed = AssemblyOptions().table_bytes(n)
+        legacy = AssemblyOptions(packed_tables=False).table_bytes(n)
+        assert packed == 5 * n * n * 8
+        assert legacy == 8 * n * n * 8  # strided views pin the full tensors
+        assert AssemblyOptions(table_dtype="float32").table_bytes(n) == packed // 2
+
+
+class TestScatterMap:
+    def test_matches_coo_scatter(self, fs_q3):
+        rng = np.random.default_rng(7)
+        Ce = rng.standard_normal((fs_q3.nelem, fs_q3.nb, fs_q3.nb))
+        ref = _scatter(fs_q3, Ce)
+        sm = ScatterMap(fs_q3)
+        got = sm.assemble(Ce)
+        assert abs(got - ref).max() < 1e-13 * max(abs(ref).max(), 1)
+
+    def test_structure_shared_between_builds(self, fs_q3):
+        sm = ScatterMap(fs_q3)
+        A = sm.assemble(element_mass_blocks(fs_q3))
+        B = sm.assemble(2.0 * element_mass_blocks(fs_q3))
+        assert np.shares_memory(A.indices, sm.indices)
+        assert np.shares_memory(B.indices, sm.indices)
+        assert abs(B - 2.0 * A).max() < 1e-14
+        assert sm.builds == 2
+
+    def test_get_scatter_map_is_cached_per_space(self, fs_q3):
+        assert get_scatter_map(fs_q3) is get_scatter_map(fs_q3)
+
+
+class TestCachedBandFactory:
+    def _random_banded(self, n=40, seed=3):
+        rng = np.random.default_rng(seed)
+        A = sp.diags(
+            [rng.uniform(1, 2, n), rng.standard_normal(n - 1) * 0.1,
+             rng.standard_normal(n - 1) * 0.1],
+            [0, 1, -1],
+        ).tocsr()
+        return A
+
+    def test_matches_band_solver(self):
+        A = self._random_banded()
+        b = np.arange(A.shape[0], dtype=float)
+        fac = CachedBandSolverFactory()
+        x = fac(A)(b)
+        ref = BandSolver(A)(b)
+        assert np.allclose(x, ref, atol=1e-12)
+
+    def test_symbolic_setup_reused_for_same_pattern(self):
+        A = self._random_banded(seed=3)
+        B = self._random_banded(seed=4)  # same pattern, different values
+        fac = CachedBandSolverFactory()
+        b = np.ones(A.shape[0])
+        fac(A)(b)
+        fac(B)(b)
+        assert fac.symbolic_setups == 1
+        assert fac.symbolic_reuses == 1
+        assert np.allclose(fac(B)(b), BandSolver(B)(b), atol=1e-12)
+
+    def test_pattern_change_triggers_new_setup(self):
+        fac = CachedBandSolverFactory()
+        b20 = np.ones(20)
+        b30 = np.ones(30)
+        fac(self._random_banded(n=20))(b20)
+        fac(self._random_banded(n=30))(b30)
+        assert fac.symbolic_setups == 2
+
+    def test_used_by_solver_when_structure_cached(self, fs_q3, electron_species, electron_maxwellian):
+        op = LandauOperator(fs_q3, electron_species)
+        solver = ImplicitLandauSolver(op, linear_solver="band", rtol=1e-8)
+        assert isinstance(solver._factor, CachedBandSolverFactory)
+        f = solver.step([electron_maxwellian.copy()], 0.05)
+        assert solver._factor.symbolic_setups == 1
+        assert solver._factor.symbolic_reuses >= 1  # Newton refactorizations
+        # same step with the uncached legacy factory gives the same answer
+        op2 = LandauOperator(fs_q3, electron_species, options=AssemblyOptions.legacy())
+        solver2 = ImplicitLandauSolver(op2, linear_solver="band", rtol=1e-8)
+        assert not isinstance(solver2._factor, CachedBandSolverFactory)
+        f2 = solver2.step([electron_maxwellian.copy()], 0.05)
+        assert np.allclose(f[0], f2[0], atol=1e-10 * max(np.abs(f2[0]).max(), 1))
+
+
+class TestBoundedNewtonStats:
+    def test_events_ring_keeps_last_k(self):
+        stats = NewtonStats(max_events=4)
+        for i in range(10):
+            stats.record_event("fallback", step=i)
+        assert len(stats.events) == 4
+        assert stats.events_dropped == 6
+        assert [e["step"] for e in stats.events] == [6, 7, 8, 9]
+
+    def test_residual_ring_keeps_last_k(self):
+        stats = NewtonStats(max_residuals=3)
+        for i in range(8):
+            stats.record_residual(float(i))
+        assert stats.residual_history == [5.0, 6.0, 7.0]
+        assert stats.residuals_dropped == 5
+
+    def test_merge_of_bounded_stats(self):
+        a = NewtonStats(max_events=4, max_residuals=4)
+        b = NewtonStats(max_events=4, max_residuals=4)
+        for i in range(6):
+            a.record_event("guard", step=i)
+            b.record_event("retry", step=i)
+            a.record_residual(float(i))
+            b.record_residual(10.0 + i)
+        a.structure_reuses, b.structure_reuses = 3, 4
+        a.parallel_builds, b.parallel_builds = 1, 2
+        dropped_before = a.events_dropped + b.events_dropped
+        a.merge(b)
+        assert len(a.events) == 4
+        assert len(a.residual_history) == 4
+        # everything that ever fell off either ring is accounted for
+        assert a.events_dropped == 12 - 4
+        assert a.residuals_dropped == 12 - 4
+        assert a.events_dropped >= dropped_before
+        assert a.structure_reuses == 7 and a.parallel_builds == 3
+        # the survivors are the tail of the concatenation
+        assert [e["kind"] for e in a.events] == ["retry"] * 4
+        assert a.residual_history == [12.0, 13.0, 14.0, 15.0]
+
+    def test_solver_surfaces_structure_counters(self, fs_q3, electron_species, electron_maxwellian):
+        op = LandauOperator(fs_q3, electron_species)
+        solver = ImplicitLandauSolver(op, rtol=1e-8)
+        solver.step([electron_maxwellian.copy()], 0.05)
+        assert solver.stats.structure_reuses > 0
+
+    def test_report_shows_counters_and_drops(self):
+        from repro.report import resilience_summary, solver_stats_table
+
+        stats = NewtonStats(max_events=4, structure_reuses=5, parallel_builds=2)
+        for i in range(10):
+            stats.record_event("fallback", step=i)
+        table = solver_stats_table(stats)
+        assert "struct-reuse" in table and "par-builds" in table
+        summary = resilience_summary(stats, max_events=2)
+        assert "last 2 of 10" in summary
