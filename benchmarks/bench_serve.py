@@ -1,0 +1,171 @@
+"""Serve-layer acceptance bench: batched service vs sequential solves.
+
+Measures end-to-end throughput (jobs/s) of the collision solve service —
+micro-batching + plan cache + sharded dispatch — against the honest
+sequential baseline (a warm ``LandauOperator`` reused by one
+``ImplicitLandauSolver``, one vertex at a time), on the same per-vertex
+jobs sharing one plan.  The acceptance bar (ISSUE PR 4): >= 3x throughput
+at >= 64 concurrent jobs, per-job results matching sequential to <= 1e-10.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        [--smoke] [--jobs N] [--out BENCH_serve.json]
+
+``--smoke`` runs a tiny job count on a coarse mesh with no speedup
+assertion (CI); the full mode enforces the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.amr import landau_mesh
+from repro.core import ImplicitLandauSolver, LandauOperator, SpeciesSet, electron
+from repro.core.maxwellian import maxwellian_rz
+from repro.fem import FunctionSpace
+from repro.report import serve_summary
+from repro.serve import CollisionSolveService, ServeOptions, SolvePlan
+
+RTOL = 1e-11  # tight shared tolerance so both paths land on the same fixed point
+DT = 0.2
+
+
+def _setup(order: int):
+    spc = SpeciesSet([electron()])
+    fs = FunctionSpace(landau_mesh([electron().thermal_velocity]), order=order)
+    return fs, spc
+
+
+def _make_states(fs, n_jobs: int) -> list[np.ndarray]:
+    """Perturbed near-Maxwellian vertex states (cool/warm/drifting mix)."""
+    rng = np.random.default_rng(11)
+    states = []
+    for _ in range(n_jobs):
+        vth = 0.886 * rng.uniform(0.75, 1.15)
+        drift = rng.uniform(-0.15, 0.15)
+        states.append(
+            fs.interpolate(
+                lambda r, z: maxwellian_rz(r, z - drift, 1.0, vth)
+            )[None, :]
+        )
+    return states
+
+
+def _sequential(fs, spc, states) -> tuple[list[np.ndarray], float]:
+    """Warm-operator sequential baseline: the pre-service serving story."""
+    op = LandauOperator(fs, spc)
+    solver = ImplicitLandauSolver(op, rtol=RTOL, max_newton=50)
+    solver.step([states[0][0].copy()], DT)  # warm pair tables + structure
+    t0 = time.perf_counter()
+    out = [np.stack(solver.step([s[0].copy()], DT)) for s in states]
+    return out, time.perf_counter() - t0
+
+
+def _served(fs, spc, states, options: ServeOptions):
+    # deeper Anderson window than the default: at 64-vertex batches the
+    # extra normal-equation cost is negligible next to the sweeps it saves
+    plan = SolvePlan(fs=fs, species=spc, dt=DT, rtol=RTOL, accel_m=3)
+    svc = CollisionSolveService(options)
+    # warm the plan runtime (pair tables, scatter, band symbolics) so both
+    # paths are measured with hot caches, like a long-running service
+    svc.solve_many(plan, states[:1])
+    t0 = time.perf_counter()
+    results = svc.solve_many(plan, states)
+    elapsed = time.perf_counter() - t0
+    return results, elapsed, svc.snapshot()
+
+
+def run_bench(smoke: bool, n_jobs: int | None) -> dict:
+    order = 2 if smoke else 3
+    if n_jobs is None:
+        n_jobs = 8 if smoke else 64
+    fs, spc = _setup(order)
+    states = _make_states(fs, n_jobs)
+    # the acceptance scenario is >= 64 concurrent same-plan jobs: size the
+    # micro-batch window to the offered concurrency
+    options = ServeOptions.from_env(
+        num_shards=1 if smoke else 2, max_batch=max(n_jobs, 32)
+    )
+
+    seq_out, seq_s = _sequential(fs, spc, states)
+    results, serve_s, snapshot = _served(fs, spc, states, options)
+
+    assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+    max_rel_diff = max(
+        float(np.abs(r.state - ref).max() / np.abs(ref).max())
+        for r, ref in zip(results, seq_out)
+    )
+    latencies = sorted(r.latency_s for r in results)
+    shards = snapshot["shards"]
+    return {
+        "jobs": n_jobs,
+        "mesh": {"ndofs": int(fs.ndofs), "order": order},
+        "dt": DT,
+        "rtol": RTOL,
+        "sequential_s": seq_s,
+        "serve_s": serve_s,
+        "sequential_jobs_per_s": n_jobs / seq_s,
+        "serve_jobs_per_s": n_jobs / serve_s,
+        "speedup": seq_s / serve_s,
+        "max_rel_diff": max_rel_diff,
+        "batch_size_hist": snapshot["batch_size_hist"],
+        "plan_cache": snapshot["plan_cache"],
+        "launch_reduction": snapshot["solver"]["launch_reduction"],
+        "latency_ms": {
+            "p50": float(np.percentile(latencies, 50)) * 1e3,
+            "p99": float(np.percentile(latencies, 99)) * 1e3,
+        },
+        "per_shard": [
+            {
+                "shard": s["shard"],
+                "jobs": s["jobs_ok"] + s["jobs_failed"] + s["jobs_shed"],
+                "batches": s["batches"],
+                "p50_ms": s["latency"]["p50_ms"],
+                "p99_ms": s["latency"]["p99_ms"],
+            }
+            for s in shards
+        ],
+        "snapshot": snapshot,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: few jobs, coarse mesh, no speedup assertion",
+    )
+    ap.add_argument("--jobs", type=int, default=None)
+    ap.add_argument("--out", default="BENCH_serve.json")
+    args = ap.parse_args(argv)
+
+    result = run_bench(smoke=args.smoke, n_jobs=args.jobs)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+
+    print(serve_summary(result["snapshot"]))
+    print()
+    print(
+        f"sequential: {result['sequential_jobs_per_s']:.1f} jobs/s   "
+        f"served: {result['serve_jobs_per_s']:.1f} jobs/s   "
+        f"speedup: {result['speedup']:.2f}x   "
+        f"max rel diff: {result['max_rel_diff']:.2e}"
+    )
+
+    if result["max_rel_diff"] > 1e-10:
+        print(f"FAIL: served results diverge from sequential ({result['max_rel_diff']:.3e} > 1e-10)")
+        return 1
+    if not args.smoke and result["speedup"] < 3.0:
+        print(f"FAIL: speedup {result['speedup']:.2f}x below the 3x acceptance bar")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

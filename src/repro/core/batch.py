@@ -11,20 +11,27 @@ dispatches them asynchronously from MPI ranks; the conclusion proposes
 advances all B vertex states together.  The O(N^2) pair tables are shared
 (they depend only on the mesh), the G-field computation becomes a single
 dense matrix-matrix product over the batch instead of B matrix-vector
-products, and the per-vertex Jacobian assemblies/factorizations amortize
-their Python-level "launch" overheads.  The counters expose exactly the
+products, the per-vertex Jacobian assemblies collapse into two batched
+einsum contractions plus two sparse matmuls through the cached scatter
+structure, and the per-sweep factorizations share one band symbolic setup
+(RCM ordering + CSR→band scatter) via
+:class:`~repro.sparse.band.CachedBandSolverFactory` — the batched-LU
+pattern of the paper follow-up's batched solvers.  Optional per-vertex
+Anderson mixing (``accel_m``) accelerates the linearly converging Picard
+sweeps toward the same fixed point.  The counters expose exactly the
 effect the paper predicts: launch-equivalents drop from O(B * iterations)
 to O(iterations).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse.linalg as spla
 
 from ..fem.function_space import FunctionSpace
+from ..sparse.band import CachedBandSolverFactory
 from .operator import LandauOperator
 from .options import AssemblyOptions
 from .species import SpeciesSet
@@ -32,13 +39,26 @@ from .species import SpeciesSet
 
 @dataclass
 class BatchStats:
-    """Work accounting for the batched advance."""
+    """Work accounting for the batched advance.
+
+    ``equivalent_unbatched_launches`` counts, per sweep, the *active*
+    (not yet converged) vertices a per-vertex dispatcher would have
+    launched a field computation for; ``field_launches`` counts the
+    batched launches actually issued.  ``symbolic_setups`` /
+    ``symbolic_reuses`` record the band solver's symbolic work: one RCM /
+    scatter setup serves every (species, vertex, sweep) factorization of
+    a step.  ``accelerated_sweeps`` counts sweeps that applied Anderson
+    mixing on top of the plain Picard update.
+    """
 
     vertices: int = 0
     newton_sweeps: int = 0
     field_launches: int = 0  # batched G-field computations
     factorizations: int = 0
     equivalent_unbatched_launches: int = 0
+    symbolic_setups: int = 0
+    symbolic_reuses: int = 0
+    accelerated_sweeps: int = 0
 
     @property
     def launch_reduction(self) -> float:
@@ -60,6 +80,20 @@ class BatchedVertexSolver:
         per-vertex quasi-Newton controls; vertices that converge early are
         frozen (masked out of subsequent sweeps), mirroring warp-level
         early exit.
+    accel_m:
+        Anderson mixing depth for the Picard sweeps (``0`` disables; the
+        default ``2`` roughly halves the sweep count at identical fixed
+        points — each vertex mixes its own flattened ``(S, ndofs)`` state).
+    options:
+        assembly configuration; the default (structure caching on) enables
+        the batched assembly + shared-symbolic band factorization fast
+        path.  With ``cache_structure=False`` the solver falls back to
+        per-vertex assembly and SuperLU factorizations.
+
+    After each :meth:`step`, ``last_converged`` holds the per-vertex
+    convergence mask and ``last_sweeps`` the sweep count at which each
+    vertex froze (callers route non-converged vertices through the
+    resilience retry path instead of failing the whole batch).
     """
 
     def __init__(
@@ -69,6 +103,7 @@ class BatchedVertexSolver:
         nu0: float = 1.0,
         rtol: float = 1e-8,
         max_newton: int = 50,
+        accel_m: int = 2,
         options: AssemblyOptions | None = None,
     ):
         self.fs = fs
@@ -76,7 +111,15 @@ class BatchedVertexSolver:
         self.op = LandauOperator(fs, species, nu0=nu0, options=options)
         self.rtol = float(rtol)
         self.max_newton = int(max_newton)
+        if accel_m < 0:
+            raise ValueError(f"accel_m must be >= 0, got {accel_m}")
+        self.accel_m = int(accel_m)
+        # one symbolic band setup serves every (species, vertex, sweep)
+        # factorization — the pattern never changes
+        self._factory = CachedBandSolverFactory()
         self.stats = BatchStats()
+        self.last_converged: np.ndarray | None = None
+        self.last_sweeps: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def _batched_fields(self, states: np.ndarray):
@@ -112,6 +155,48 @@ class BatchedVertexSolver:
         return op.batched_fields(w * T_D, w * T_Kr, w * T_Kz)
 
     # ------------------------------------------------------------------
+    def _solve_active_fast(
+        self, fk_active: np.ndarray, Mfn_active: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """One Picard update for the active vertices via batched assembly
+        and the shared-symbolic batched band LU.  Returns ``g (X, S, n)``.
+        """
+        op = self.op
+        M = op.mass_matrix
+        X = fk_active.shape[0]
+        S = len(self.species)
+        G_D, G_K = self._batched_fields(fk_active)
+        data = op.batched_species_data(G_D, G_K)  # (S, X, nnz)
+        # shared pattern: lhs data rows are M.data - dt * L.data directly
+        lhs = M.data[None, None, :] - dt * data
+        solver = self._factory.factor_many(M, lhs.reshape(S * X, -1))
+        self.stats.factorizations += S * X
+        rhs = np.ascontiguousarray(
+            Mfn_active.transpose(1, 0, 2).reshape(S * X, -1)
+        )
+        y = solver.solve_many(rhs)
+        return np.ascontiguousarray(
+            y.reshape(S, X, -1).transpose(1, 0, 2)
+        )
+
+    def _solve_active_legacy(
+        self, fk_active: np.ndarray, Mfn_active: np.ndarray, dt: float
+    ) -> np.ndarray:
+        """Per-vertex assembly + SuperLU fallback (legacy options)."""
+        op = self.op
+        M = op.mass_matrix
+        X = fk_active.shape[0]
+        g = np.empty_like(fk_active)
+        G_D, G_K = self._batched_fields(fk_active)
+        for x in range(X):
+            mats = op.species_matrices(G_D[x], G_K[x])
+            for s_idx, L in enumerate(mats):
+                lu = spla.splu((M - dt * L).tocsc())
+                self.stats.factorizations += 1
+                g[x, s_idx] = lu.solve(Mfn_active[x, s_idx])
+        return g
+
+    # ------------------------------------------------------------------
     def step(self, states: np.ndarray, dt: float) -> np.ndarray:
         """One backward-Euler step for every vertex.
 
@@ -129,33 +214,114 @@ class BatchedVertexSolver:
             )
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
-        B = states.shape[0]
-        M = self.op.mass_matrix
+        B, S, n = states.shape
+        op = self.op
+        M = op.mass_matrix
+        fast = op.scatter_map is not None and op.pair_tables_cached
         fn = states.copy()
         fk = states.copy()
         active = np.ones(B, dtype=bool)
+        converged = np.zeros(B, dtype=bool)
+        sweeps_at = np.full(B, self.max_newton, dtype=int)
         norms = np.maximum(np.linalg.norm(fn, axis=(1, 2)), 1e-300)
+        # the Picard right-hand side M f^n is sweep-invariant: one spmm
+        Mfn = np.ascontiguousarray(
+            (M @ fn.reshape(B * S, n).T).T.reshape(B, S, n)
+        )
 
+        sym0_setups = self._factory.symbolic_setups
+        sym0_reuses = self._factory.symbolic_reuses
         self.stats.vertices += B
+        # Anderson history: flattened per-vertex states and Picard images
+        hist_x: list[np.ndarray] = []
+        hist_g: list[np.ndarray] = []
         sweeps = 0
         for _ in range(self.max_newton):
             sweeps += 1
-            G_D, G_K = self._batched_fields(fk)
+            idx = np.nonzero(active)[0]
+            # frozen vertices are sliced out *before* the field launch —
+            # the early-exit mask saves their G_D/G_K recomputation too
+            if fast:
+                g = self._solve_active_fast(fk[idx], Mfn[idx], dt)
+            else:
+                g = self._solve_active_legacy(fk[idx], Mfn[idx], dt)
             self.stats.field_launches += 1
-            self.stats.equivalent_unbatched_launches += int(active.sum())
-            delta = np.zeros(B)
-            for b in np.nonzero(active)[0]:
-                mats = self.op.species_matrices(G_D[b], G_K[b])
-                for s_idx, L in enumerate(mats):
-                    lu = spla.splu((M - dt * L).tocsc())
-                    self.stats.factorizations += 1
-                    x = lu.solve(M @ fn[b, s_idx])
-                    delta[b] = max(
-                        delta[b], np.linalg.norm(x - fk[b, s_idx]) / norms[b]
-                    )
-                    fk[b, s_idx] = x
-            active &= delta >= self.rtol
-            if not active.any():
+            self.stats.equivalent_unbatched_launches += int(idx.size)
+
+            delta = (
+                np.linalg.norm(g - fk[idx], axis=2).max(axis=1) / norms[idx]
+            )
+            done = delta < self.rtol
+            just = idx[done]
+            converged[just] = True
+            sweeps_at[just] = sweeps
+            active[just] = False
+            fk[just] = g[done]
+
+            still = idx[~done]
+            if still.size == 0:
                 break
+            g_still = g[~done]
+            if self.accel_m > 0:
+                xk_flat = fk.reshape(B, -1).copy()
+                g_flat = np.zeros((B, S * n))
+                g_flat[idx] = g.reshape(idx.size, -1)
+                hist_x.append(xk_flat)
+                hist_g.append(g_flat)
+                if len(hist_x) > self.accel_m + 1:
+                    hist_x.pop(0)
+                    hist_g.pop(0)
+                mixed = self._anderson_mix(hist_x, hist_g, still)
+                if mixed is not None:
+                    fk[still] = mixed.reshape(still.size, S, n)
+                    self.stats.accelerated_sweeps += 1
+                    continue
+            fk[still] = g_still
         self.stats.newton_sweeps += sweeps
+        self.stats.symbolic_setups += self._factory.symbolic_setups - sym0_setups
+        self.stats.symbolic_reuses += self._factory.symbolic_reuses - sym0_reuses
+        self.last_converged = converged
+        self.last_sweeps = sweeps_at
         return fk
+
+    # ------------------------------------------------------------------
+    def _anderson_mix(
+        self,
+        hist_x: list[np.ndarray],
+        hist_g: list[np.ndarray],
+        rows: np.ndarray,
+    ) -> np.ndarray | None:
+        """Per-vertex Anderson(m) mixing of the Picard iteration.
+
+        Each vertex solves its own tiny least-squares problem (normal
+        equations over the residual differences) for the mixing weights;
+        returns the mixed iterates ``(len(rows), S*n)`` or ``None`` when
+        there is no usable history yet (callers then take the plain
+        Picard update).  Ill-conditioned or non-finite mixes fall back to
+        the plain update row-wise — acceleration never changes the fixed
+        point, only the path to it.
+        """
+        mk = len(hist_x) - 1
+        if mk < 1:
+            return None
+        R = np.stack([hg[rows] - hx[rows] for hx, hg in zip(hist_x, hist_g)])
+        dR = R[1:] - R[:-1]  # (mk, X, D)
+        dG = np.stack(
+            [hist_g[j + 1][rows] - hist_g[j][rows] for j in range(mk)]
+        )
+        gram = np.einsum("iad,jad->aij", dR, dR)
+        rhs = np.einsum("iad,ad->ai", dR, R[-1])
+        # Tikhonov guard keeps near-singular Gram matrices solvable
+        trace = np.trace(gram, axis1=1, axis2=2)
+        reg = 1e-14 * np.maximum(trace, 1e-300)
+        gram = gram + reg[:, None, None] * np.eye(mk)
+        try:
+            theta = np.linalg.solve(gram, rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            return None
+        g_last = hist_g[-1][rows]
+        mixed = g_last - np.einsum("ai,iad->ad", theta, dG)
+        bad = ~np.isfinite(mixed).all(axis=1)
+        if bad.any():
+            mixed[bad] = g_last[bad]
+        return mixed

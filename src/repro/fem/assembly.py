@@ -104,6 +104,17 @@ class ScatterMap:
         """Reduced-CSR ``data`` for element blocks ``(ne, nb, nb)``."""
         return self.T @ np.ascontiguousarray(Ce).reshape(-1)
 
+    def scatter_data_batch(self, Ce: np.ndarray) -> np.ndarray:
+        """Reduced-CSR ``data`` rows for a batch of element-block sets.
+
+        ``Ce`` has shape ``(X, ne, nb, nb)`` (or ``(X, ne*nb*nb)``); the
+        scatter is one sparse matmul for the whole batch instead of ``X``
+        matvecs.  Returns ``(X, nnz)``.
+        """
+        X = Ce.shape[0]
+        flat = np.ascontiguousarray(Ce).reshape(X, -1)
+        return np.ascontiguousarray((self.T @ flat.T).T)
+
     def matrix(self, data: np.ndarray) -> sp.csr_matrix:
         """Wrap a ``data`` vector with the cached structure (zero copies
         of the index arrays)."""

@@ -149,3 +149,106 @@ def resilience_summary(stats, max_events: int = 12) -> str:
             rows.append([ev.get("kind", "?"), detail[:96]])
         lines.append(format_table(["kind", "detail"], rows, title=title))
     return "\n".join(lines)
+
+
+def serve_summary(snapshot: dict) -> str:
+    """Operator-facing rollup of a :class:`CollisionSolveService` snapshot.
+
+    Renders the service sizing, job outcomes, the micro-batcher's
+    batch-size histogram (is coalescing happening?), the operator-plan
+    cache counters (are pair tables/band symbolics staying warm?) and a
+    per-shard table with queue depth and latency percentiles.
+    """
+    opt = snapshot["options"]
+    jobs = snapshot["jobs"]
+    cache = snapshot["plan_cache"]
+    solver = snapshot["solver"]
+    lines = [
+        format_table(
+            ["shards", "max batch", "max wait (ms)", "queue bound", "executor"],
+            [
+                [
+                    opt["num_shards"],
+                    opt["max_batch"],
+                    opt["max_wait_ms"],
+                    opt["queue_bound"],
+                    opt["executor"],
+                ]
+            ],
+            title="collision solve service",
+        ),
+        "",
+        format_table(
+            ["total", "ok", "failed", "shed", "retried", "rejected"],
+            [
+                [
+                    jobs["total"],
+                    jobs["ok"],
+                    jobs["failed"],
+                    jobs["shed"],
+                    jobs["retried"],
+                    jobs["rejected_submissions"],
+                ]
+            ],
+            title="jobs",
+        ),
+    ]
+    if snapshot["batch_size_hist"]:
+        rows = [
+            [size, count]
+            for size, count in sorted(
+                snapshot["batch_size_hist"].items(), key=lambda kv: int(kv[0])
+            )
+        ]
+        lines += ["", format_table(["batch size", "batches"], rows, title="micro-batches")]
+    lines += [
+        "",
+        format_table(
+            ["plans", "MiB", "hits", "misses", "evictions", "hit rate"],
+            [
+                [
+                    cache["plans"],
+                    cache["bytes"] / 2**20,
+                    cache["hits"],
+                    cache["misses"],
+                    cache["evictions"],
+                    cache["hit_rate"],
+                ]
+            ],
+            title="operator-plan cache",
+        ),
+        "",
+        format_table(
+            ["field launches", "launch equiv", "reduction", "sym setups", "sym reuses"],
+            [
+                [
+                    solver["field_launches"],
+                    solver["equivalent_unbatched_launches"],
+                    solver["launch_reduction"],
+                    solver["symbolic_setups"],
+                    solver["symbolic_reuses"],
+                ]
+            ],
+            title="batched solver work",
+        ),
+    ]
+    shard_rows = [
+        [
+            s["shard"],
+            s["jobs_ok"] + s["jobs_failed"] + s["jobs_shed"],
+            s["batches"],
+            s["max_queue_depth"],
+            s["latency"]["p50_ms"],
+            s["latency"]["p99_ms"],
+        ]
+        for s in snapshot["shards"]
+    ]
+    lines += [
+        "",
+        format_table(
+            ["shard", "jobs", "batches", "max depth", "p50 (ms)", "p99 (ms)"],
+            shard_rows,
+            title="per-shard",
+        ),
+    ]
+    return "\n".join(lines)

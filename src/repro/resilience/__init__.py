@@ -15,6 +15,7 @@ from .exceptions import (
     InjectedFault,
     RECOVERABLE_ERRORS,
     ResilienceError,
+    ServiceOverloaded,
     SolveFailure,
     StepRejected,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "StepRejected",
     "SolveFailure",
     "InjectedFault",
+    "ServiceOverloaded",
     "CheckpointError",
     "RECOVERABLE_ERRORS",
     "GuardConfig",

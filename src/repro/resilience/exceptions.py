@@ -47,6 +47,12 @@ class InjectedFault(SolveFailure):
     so every production recovery path treats it as the real thing."""
 
 
+class ServiceOverloaded(ResilienceError):
+    """Admission control rejected a solve job: the target shard's bounded
+    queue is full.  The caller should back off and resubmit — accepting
+    the job would only grow tail latency past any useful deadline."""
+
+
 class CheckpointError(ResilienceError):
     """A checkpoint file is missing, truncated, or belongs to a different
     model configuration than the one trying to resume from it."""

@@ -1,0 +1,55 @@
+"""Collision solve service: micro-batching, sharding, and plan caching.
+
+The serving layer for per-vertex Landau collision solves.  Callers build
+a :class:`SolvePlan` (mesh + species + dt + solver/assembly options) and
+submit per-vertex states; the service coalesces jobs sharing a plan into
+micro-batches for the :class:`~repro.core.batch.BatchedVertexSolver`,
+routes plans to shards by consistent hashing so warm operators (pair
+tables, scatter structure, band symbolics) are reused, sheds
+deadline-expired jobs, rejects submissions under overload
+(:class:`~repro.resilience.ServiceOverloaded`), and routes jobs that fall
+out of a batch through the resilience retry/backoff path.
+
+Quick start::
+
+    from repro.serve import CollisionSolveService, ServeOptions, SolvePlan
+
+    plan = SolvePlan(fs=fs, species=species, dt=2e-3)
+    with CollisionSolveService(ServeOptions(num_shards=2)) as svc:
+        results = svc.solve_many(plan, states)   # deterministic drain mode
+        # or: svc.start(); handles = [svc.submit(plan, s) for s in states]
+"""
+
+from .jobs import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SHED,
+    JobHandle,
+    JobResult,
+    SolveJob,
+)
+from .metrics import LatencyRing, ShardMetrics, merge_histograms, percentile
+from .plan import PlanCache, PlanRuntime, SolvePlan
+from .service import CollisionSolveService, HashRing, ServeOptions
+from .shard import ShardWorker, execute_jobs
+
+__all__ = [
+    "SolvePlan",
+    "PlanRuntime",
+    "PlanCache",
+    "SolveJob",
+    "JobResult",
+    "JobHandle",
+    "STATUS_OK",
+    "STATUS_SHED",
+    "STATUS_FAILED",
+    "ShardWorker",
+    "execute_jobs",
+    "ShardMetrics",
+    "LatencyRing",
+    "percentile",
+    "merge_histograms",
+    "HashRing",
+    "CollisionSolveService",
+    "ServeOptions",
+]

@@ -1,0 +1,115 @@
+"""Solve jobs, results and completion handles.
+
+A :class:`SolveJob` is one per-vertex collision solve request: the shared
+:class:`~repro.serve.plan.SolvePlan` plus this vertex's ``(S, ndofs)``
+state and an optional deadline.  The service answers every admitted job
+with exactly one :class:`JobResult` — solved, shed (deadline passed while
+queued) or failed (the retry/backoff budget ran out) — delivered through
+a :class:`JobHandle`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .plan import SolvePlan
+
+__all__ = ["SolveJob", "JobResult", "JobHandle"]
+
+_job_counter = itertools.count()
+
+#: result states: exactly one per admitted job
+STATUS_OK = "ok"
+STATUS_SHED = "shed"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class SolveJob:
+    """One per-vertex collision solve request."""
+
+    plan: SolvePlan
+    state: np.ndarray
+    job_id: str = ""
+    deadline: float | None = None  # absolute time.monotonic() seconds
+    submitted: float = field(default_factory=time.monotonic)
+
+    def __post_init__(self):
+        self.state = np.asarray(self.state, dtype=float)
+        S = len(self.plan.species)
+        if self.state.ndim == 1 and S == 1:
+            self.state = self.state[None, :]
+        if self.state.shape != (S, self.plan.fs.ndofs):
+            raise ValueError(
+                f"state must be ({S}, {self.plan.fs.ndofs}), "
+                f"got {self.state.shape}"
+            )
+        if not self.job_id:
+            self.job_id = f"job-{next(_job_counter)}"
+
+    @classmethod
+    def with_deadline_ms(cls, plan: SolvePlan, state, deadline_ms: float, **kw):
+        """Build a job that is shed unless dispatched within ``deadline_ms``."""
+        return cls(
+            plan=plan,
+            state=state,
+            deadline=time.monotonic() + deadline_ms / 1e3,
+            **kw,
+        )
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one job (exactly one per admitted job)."""
+
+    job_id: str
+    status: str  # "ok" | "shed" | "failed"
+    state: np.ndarray | None = None
+    error: str | None = None
+    shard: int = -1
+    batch_size: int = 0
+    sweeps: int = 0
+    retried: bool = False
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class JobHandle:
+    """Future-like completion handle; the result is set exactly once."""
+
+    def __init__(self, job: SolveJob):
+        self.job = job
+        self._event = threading.Event()
+        self._result: JobResult | None = None
+
+    def set_result(self, result: JobResult) -> None:
+        if self._event.is_set():  # the no-job-executed-twice invariant
+            raise RuntimeError(
+                f"result for {self.job.job_id} delivered twice"
+            )
+        self._result = result
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job.job_id} not completed within {timeout}s"
+            )
+        assert self._result is not None
+        return self._result

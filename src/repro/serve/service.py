@@ -1,0 +1,422 @@
+"""The collision solve service: admission control, consistent-hash
+routing, and the dynamic micro-batcher.
+
+``CollisionSolveService`` accepts per-vertex solve jobs
+(:class:`~repro.serve.jobs.SolveJob`: state + dt + mesh/species/options
+key) and executes them at high throughput:
+
+* **Routing** — a consistent-hash ring maps each plan key to one shard,
+  so a plan's pair tables and band symbolics are built once and stay
+  warm; adding a shard remaps only ``~1/num_shards`` of the key space.
+* **Micro-batching** — each shard's dispatcher pops the queue head and
+  coalesces jobs sharing its plan, waiting up to ``max_wait_ms`` for the
+  batch to fill to ``max_batch``, then advances the whole batch with one
+  :meth:`BatchedVertexSolver.step` (one field launch and one batched
+  factorization per sweep instead of one per job).
+* **Backpressure** — each shard's queue is bounded; :meth:`submit`
+  raises :class:`~repro.resilience.ServiceOverloaded` when it is full,
+  and jobs whose deadline lapses while queued are shed before compute.
+* **Determinism** — :meth:`drain` processes queues synchronously in
+  submission order, giving identical batch composition (hence bitwise
+  identical floating-point results) across reruns; dispatcher threads
+  (:meth:`start`) trade that for latency.
+
+``executor="process"`` moves each shard into its own
+``ProcessPoolExecutor`` worker (one warm worker per shard).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..resilience.exceptions import ServiceOverloaded
+from .jobs import JobHandle, JobResult, SolveJob
+from .metrics import merge_histograms
+from .plan import SolvePlan
+from .shard import ShardWorker, _process_execute, _process_init, _process_snapshot
+
+__all__ = ["ServeOptions", "HashRing", "CollisionSolveService"]
+
+_EXECUTORS = ("thread", "process")
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Service sizing knobs (see EXPERIMENTS.md for the env overrides)."""
+
+    num_shards: int = 2
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    queue_bound: int = 256
+    executor: str = "thread"
+    plan_budget: int | None = None  # bytes per shard's PlanCache; None = env
+    vnodes: int = 32
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_bound < 1:
+            raise ValueError(f"queue_bound must be >= 1, got {self.queue_bound}")
+        if self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
+            )
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServeOptions":
+        """Read ``REPRO_SERVE_*`` overrides (explicit kwargs win)."""
+        env = os.environ
+        kw = dict(
+            num_shards=int(env.get("REPRO_SERVE_SHARDS", cls.num_shards)),
+            max_batch=int(env.get("REPRO_SERVE_MAX_BATCH", cls.max_batch)),
+            max_wait_ms=float(env.get("REPRO_SERVE_MAX_WAIT_MS", cls.max_wait_ms)),
+            queue_bound=int(env.get("REPRO_SERVE_QUEUE_BOUND", cls.queue_bound)),
+            executor=env.get("REPRO_SERVE_EXECUTOR", cls.executor),
+        )
+        kw.update(overrides)
+        return cls(**kw)
+
+
+def _hash64(text: str) -> int:
+    return int.from_bytes(hashlib.sha256(text.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over shards with virtual nodes.
+
+    Plan keys land on the first vnode clockwise of their hash; vnodes
+    smooth the load split and keep remapping ``~1/num_shards`` of the key
+    space when a shard is added or removed.
+    """
+
+    def __init__(self, num_shards: int, vnodes: int = 32):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        points = sorted(
+            (_hash64(f"shard-{s}-vnode-{v}"), s)
+            for s in range(num_shards)
+            for v in range(vnodes)
+        )
+        self.num_shards = num_shards
+        self._hashes = [h for h, _ in points]
+        self._shards = [s for _, s in points]
+
+    def route(self, key: str) -> int:
+        i = bisect.bisect_right(self._hashes, _hash64(key)) % len(self._hashes)
+        return self._shards[i]
+
+
+class CollisionSolveService:
+    """Accepts per-vertex collision solve jobs; batches, shards, caches.
+
+    Two execution styles:
+
+    * ``start()`` + ``submit()``: dispatcher threads micro-batch each
+      shard's queue with the ``max_wait_ms`` coalescing window.
+    * ``submit()`` + ``drain()``: synchronous, deterministic — queues are
+      processed in submission order with reproducible batch composition
+      (the mode the chaos tests rerun for bitwise stability).
+
+    ``fault_injector`` (a :class:`repro.resilience.FaultInjector`) makes
+    the delivery path fail on purpose; incompatible with
+    ``executor="process"`` (the injector state lives in this process).
+    """
+
+    def __init__(self, options: ServeOptions | None = None, fault_injector=None):
+        self.options = options or ServeOptions.from_env()
+        if fault_injector is not None and self.options.executor == "process":
+            raise ValueError(
+                "fault injection requires executor='thread' "
+                "(injector state lives in the submitting process)"
+            )
+        n = self.options.num_shards
+        self.ring = HashRing(n, vnodes=self.options.vnodes)
+        self._queues: list[deque] = [deque() for _ in range(n)]
+        self._conds = [threading.Condition() for _ in range(n)]
+        self._rejected = [0] * n
+        self._max_depth = [0] * n
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._workers: list[ShardWorker] | None = None
+        self._pools: list[ProcessPoolExecutor] | None = None
+        if self.options.executor == "process":
+            self._pools = [
+                ProcessPoolExecutor(
+                    max_workers=1,
+                    initializer=_process_init,
+                    initargs=(s, self.options.plan_budget),
+                )
+                for s in range(n)
+            ]
+        else:
+            self._workers = [
+                ShardWorker(
+                    s,
+                    plan_budget=self.options.plan_budget,
+                    fault_injector=fault_injector,
+                )
+                for s in range(n)
+            ]
+
+    # ------------------------------------------------------------------
+    # admission
+    def submit(
+        self,
+        plan: SolvePlan,
+        state: np.ndarray,
+        *,
+        deadline_ms: float | None = None,
+        job_id: str = "",
+    ) -> JobHandle:
+        """Admit one job; raises :class:`ServiceOverloaded` if the target
+        shard's queue is full (callers should back off and retry)."""
+        if deadline_ms is None:
+            job = SolveJob(plan=plan, state=state, job_id=job_id)
+        else:
+            job = SolveJob.with_deadline_ms(plan, state, deadline_ms, job_id=job_id)
+        shard = self.ring.route(plan.key)
+        handle = JobHandle(job)
+        cond = self._conds[shard]
+        with cond:
+            q = self._queues[shard]
+            if len(q) >= self.options.queue_bound:
+                self._rejected[shard] += 1
+                if self._workers is not None:
+                    self._workers[shard].metrics.rejected_submissions += 1
+                raise ServiceOverloaded(
+                    f"shard {shard} queue full "
+                    f"({len(q)}/{self.options.queue_bound} jobs)"
+                )
+            q.append((job, handle))
+            depth = len(q)
+            if depth > self._max_depth[shard]:
+                self._max_depth[shard] = depth
+            if self._workers is not None:
+                self._workers[shard].metrics.record_queue_depth(depth)
+            cond.notify()
+        return handle
+
+    def solve_many(
+        self,
+        plan: SolvePlan,
+        states,
+        *,
+        deadline_ms: float | None = None,
+        timeout: float | None = 120.0,
+    ) -> list[JobResult]:
+        """Submit a batch of same-plan jobs and wait for all results.
+
+        When the service is not started, the queues are drained
+        synchronously (deterministic mode)."""
+        handles = [
+            self.submit(plan, s, deadline_ms=deadline_ms) for s in states
+        ]
+        if not self._started:
+            self.drain()
+        return [h.result(timeout) for h in handles]
+
+    # ------------------------------------------------------------------
+    # batching + execution
+    def _take_batch(self, shard: int, head: tuple) -> list[tuple]:
+        """Coalesce queued jobs sharing the head job's plan (caller holds
+        the shard condition lock)."""
+        batch = [head]
+        key = head[0].plan.key
+        q = self._queues[shard]
+        i = 0
+        while i < len(q) and len(batch) < self.options.max_batch:
+            if q[i][0].plan.key == key:
+                batch.append(q[i])
+                del q[i]
+            else:
+                i += 1
+        return batch
+
+    def _execute(self, shard: int, batch: list[tuple]) -> None:
+        jobs = [job for job, _ in batch]
+        handles = {job.job_id: handle for job, handle in batch}
+        if self._pools is not None:
+            pairs = self._pools[shard].submit(_process_execute, jobs).result()
+            for job_id, res in pairs:
+                handles[job_id].set_result(res)
+        else:
+            assert self._workers is not None
+            for job, res in self._workers[shard].execute_batch(jobs):
+                handles[job.job_id].set_result(res)
+
+    def _dispatch_loop(self, shard: int) -> None:
+        cond = self._conds[shard]
+        q = self._queues[shard]
+        wait_s = self.options.max_wait_ms / 1e3
+        while True:
+            with cond:
+                while not q and not self._stop.is_set():
+                    cond.wait(0.05)
+                if not q and self._stop.is_set():
+                    return
+                batch = self._take_batch(shard, q.popleft())
+                # hold the coalescing window open while the batch fills
+                deadline = time.monotonic() + wait_s
+                while len(batch) < self.options.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    cond.wait(remaining)
+                    key = batch[0][0].plan.key
+                    i = 0
+                    while i < len(q) and len(batch) < self.options.max_batch:
+                        if q[i][0].plan.key == key:
+                            batch.append(q[i])
+                            del q[i]
+                        else:
+                            i += 1
+            self._execute(shard, batch)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    def start(self) -> "CollisionSolveService":
+        if self._started:
+            return self
+        self._stop.clear()
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                args=(s,),
+                name=f"serve-shard-{s}",
+                daemon=True,
+            )
+            for s in range(self.options.num_shards)
+        ]
+        for t in self._threads:
+            t.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop dispatchers after their queues empty; keeps warm runtimes."""
+        if self._started:
+            self._stop.set()
+            for cond in self._conds:
+                with cond:
+                    cond.notify_all()
+            for t in self._threads:
+                t.join(timeout=60.0)
+            self._threads = []
+            self._started = False
+
+    def close(self) -> None:
+        self.stop()
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+            self._pools = None
+
+    def __enter__(self) -> "CollisionSolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def drain(self) -> int:
+        """Synchronously execute every queued job, in submission order.
+
+        Deterministic by construction: batch composition depends only on
+        the submission sequence, so reruns with the same jobs produce
+        bitwise-identical results.  Only valid while dispatchers are not
+        running.  Returns the number of jobs executed."""
+        if self._started:
+            raise RuntimeError("drain() requires a stopped service")
+        done = 0
+        for shard in range(self.options.num_shards):
+            q = self._queues[shard]
+            while q:
+                with self._conds[shard]:
+                    batch = self._take_batch(shard, q.popleft())
+                self._execute(shard, batch)
+                done += len(batch)
+        return done
+
+    # ------------------------------------------------------------------
+    # observability
+    def shard_snapshots(self) -> list[dict]:
+        if self._pools is not None:
+            snaps = [
+                pool.submit(_process_snapshot).result() for pool in self._pools
+            ]
+        else:
+            assert self._workers is not None
+            snaps = [w.snapshot() for w in self._workers]
+        for s, snap in enumerate(snaps):
+            snap["rejected_submissions"] = self._rejected[s]
+            snap["max_queue_depth"] = max(
+                snap.get("max_queue_depth", 0), self._max_depth[s]
+            )
+        return snaps
+
+    def snapshot(self) -> dict:
+        """Service-level rollup (JSON-able; see report.serve_summary)."""
+        shards = self.shard_snapshots()
+        total_jobs = sum(
+            s["jobs_ok"] + s["jobs_failed"] + s["jobs_shed"] for s in shards
+        )
+        caches = [s["plan_cache"] for s in shards]
+        hits = sum(c["hits"] for c in caches)
+        misses = sum(c["misses"] for c in caches)
+        solver_keys = shards[0]["solver"].keys() if shards else ()
+        solver_tot = {
+            k: sum(s["solver"][k] for s in shards)
+            for k in solver_keys
+            if k != "launch_reduction"
+        }
+        launches = solver_tot.get("field_launches", 0)
+        solver_tot["launch_reduction"] = (
+            solver_tot.get("equivalent_unbatched_launches", 0) / launches
+            if launches
+            else 1.0
+        )
+        return {
+            "options": {
+                "num_shards": self.options.num_shards,
+                "max_batch": self.options.max_batch,
+                "max_wait_ms": self.options.max_wait_ms,
+                "queue_bound": self.options.queue_bound,
+                "executor": self.options.executor,
+            },
+            "jobs": {
+                "total": total_jobs,
+                "ok": sum(s["jobs_ok"] for s in shards),
+                "failed": sum(s["jobs_failed"] for s in shards),
+                "shed": sum(s["jobs_shed"] for s in shards),
+                "retried": sum(s["jobs_retried"] for s in shards),
+                "rejected_submissions": sum(
+                    s["rejected_submissions"] for s in shards
+                ),
+            },
+            "batch_size_hist": merge_histograms(
+                [s["batch_size_hist"] for s in shards]
+            ),
+            "plan_cache": {
+                "plans": sum(c["plans"] for c in caches),
+                "bytes": sum(c["bytes"] for c in caches),
+                "hits": hits,
+                "misses": misses,
+                "evictions": sum(c["evictions"] for c in caches),
+                "hit_rate": hits / max(1, hits + misses),
+            },
+            "solver": solver_tot,
+            "shards": shards,
+        }

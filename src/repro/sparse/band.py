@@ -203,6 +203,20 @@ class _BandStructure:
     pos: np.ndarray
     indptr: np.ndarray
     indices: np.ndarray
+    #: flat scatter positions into LAPACK ``dgbtrf`` storage, built lazily
+    #: (``ab`` is ``(2*B + B + 1, n)`` column-banded with ``kl = ku = B``)
+    pos_lapack: np.ndarray | None = None
+
+    def lapack_positions(self, n: int) -> np.ndarray:
+        if self.pos_lapack is None:
+            B = self.B
+            # recover permuted (row, col) of each CSR entry from the band
+            # scatter: pos = pr * (2B+1) + (B + pc - pr)
+            pr, off = np.divmod(self.pos, 2 * B + 1)
+            pc = pr + (off - B)
+            # LAPACK banded layout: ab[kl + ku + i - j, j] = A[i, j]
+            self.pos_lapack = (2 * B + pr - pc) * n + pc
+        return self.pos_lapack
 
 
 class _CachedBandSolver:
@@ -220,6 +234,70 @@ class _CachedBandSolver:
         return self.solve(b)
 
 
+try:  # pragma: no cover - import probe
+    from scipy.linalg import lapack as _lapack
+
+    _HAVE_GBTRF = hasattr(_lapack, "dgbtrf") and hasattr(_lapack, "dgbtrs")
+except ImportError:  # pragma: no cover - scipy without lapack wrappers
+    _lapack = None
+    _HAVE_GBTRF = False
+
+
+class BatchedBandSolver:
+    """LU factors of many same-pattern matrices sharing one band symbolic.
+
+    The serve/batch hot path factors ``X`` matrices per sweep that all come
+    from the same :class:`ScatterMap` structure — identical sparsity, hence
+    identical RCM ordering, bandwidth and CSR→band scatter.  This holds the
+    ``X`` numeric factorizations (LAPACK ``dgbtrf`` partial-pivoting band LU
+    when available, the pure-python :func:`band_factor` otherwise) and
+    solves all right-hand sides with the shared permutation applied once.
+    """
+
+    def __init__(self, st: _BandStructure, n: int, factors: list, engine: str):
+        self._st = st
+        self.n = n
+        self._factors = factors
+        self.engine = engine
+
+    @property
+    def batch_size(self) -> int:
+        return len(self._factors)
+
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve all systems: ``rhs`` is ``(X, n)``, returns ``(X, n)``."""
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape != (len(self._factors), self.n):
+            raise ValueError(
+                f"rhs must be ({len(self._factors)}, {self.n}), got {rhs.shape}"
+            )
+        st = self._st
+        out = np.empty_like(rhs)
+        if self.engine == "lapack":
+            B = st.B
+            for x, (lub, piv) in enumerate(self._factors):
+                y, info = _lapack.dgbtrs(lub, B, B, rhs[x, st.perm], piv)
+                if info != 0:  # pragma: no cover - dgbtrs never fails post-factor
+                    raise np.linalg.LinAlgError(f"dgbtrs failed with info={info}")
+                out[x] = y[st.iperm]
+        else:
+            for x, bm in enumerate(self._factors):
+                out[x] = band_solve(bm, rhs[x, st.perm])[st.iperm]
+        return out
+
+    def solve(self, index: int, b: np.ndarray) -> np.ndarray:
+        """Solve the ``index``-th system for one right-hand side."""
+        st = self._st
+        b = np.asarray(b, dtype=float)
+        if self.engine == "lapack":
+            lub, piv = self._factors[index]
+            y, info = _lapack.dgbtrs(lub, st.B, st.B, b[st.perm], piv)
+            if info != 0:  # pragma: no cover
+                raise np.linalg.LinAlgError(f"dgbtrs failed with info={info}")
+            return y[st.iperm]
+        return band_solve(self._factors[index], b[st.perm])[st.iperm]
+
+
 class CachedBandSolverFactory:
     """Band-solver factory that reuses the RCM ordering and band symbolic
     setup between refactorizations.
@@ -230,6 +308,11 @@ class CachedBandSolverFactory:
     computed once per pattern and only the numeric band fill + LU run per
     call.  A small LRU keyed on the CSR pattern holds the structures;
     results are identical to :class:`BandSolver`.
+
+    :meth:`factor_many` extends the reuse across a *batch*: ``X`` matrices
+    sharing one pattern (the batched-vertex / serve hot path) are factored
+    against a single symbolic setup — the batched analogue of the paper
+    follow-up's batched band solvers.
     """
 
     def __init__(self, pivot_tol: float = 0.0, max_patterns: int = 8):
@@ -282,6 +365,53 @@ class CachedBandSolverFactory:
         W.ravel()[st.pos] = A.data  # pattern entries are unique: direct fill
         bm = band_factor(BandMatrix(W=W, B=st.B), pivot_tol=self.pivot_tol)
         return _CachedBandSolver(bm, st)
+
+    # ------------------------------------------------------------------
+    def factor_many(
+        self, template: sp.csr_matrix, data: np.ndarray
+    ) -> BatchedBandSolver:
+        """Factor ``X`` matrices sharing ``template``'s sparsity pattern.
+
+        ``template`` is any canonical CSR with the shared pattern (its
+        values are ignored); ``data`` is ``(X, nnz)``, one CSR ``data`` row
+        per matrix, aligned with ``template.indices``.  The symbolic setup
+        (RCM ordering, bandwidth, scatter positions) is computed or reused
+        *once* for the whole batch; each additional matrix counts as a
+        symbolic reuse.  Numerics go through LAPACK's partial-pivoting band
+        LU (``dgbtrf``) when available, the pure-python no-pivot
+        :func:`band_factor` otherwise.
+        """
+        template = sp.csr_matrix(template)
+        data = np.ascontiguousarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[1] != template.nnz:
+            raise ValueError(
+                f"data must be (X, {template.nnz}), got {data.shape}"
+            )
+        st = self._structure(template)
+        self.symbolic_reuses += max(0, data.shape[0] - 1)
+        n = template.shape[0]
+        B = st.B
+        factors: list = []
+        if _HAVE_GBTRF:
+            pos = st.lapack_positions(n)
+            lda = 3 * B + 1
+            for x in range(data.shape[0]):
+                ab = np.zeros((lda, n))
+                ab.ravel()[pos] = data[x]
+                lub, piv, info = _lapack.dgbtrf(ab, B, B)
+                if info != 0:
+                    raise np.linalg.LinAlgError(
+                        f"dgbtrf failed on batch entry {x} with info={info}"
+                    )
+                factors.append((lub, piv))
+            return BatchedBandSolver(st, n, factors, engine="lapack")
+        for x in range(data.shape[0]):  # pragma: no cover - no-LAPACK fallback
+            W = np.zeros((n, 2 * B + 1))
+            W.ravel()[st.pos] = data[x]
+            factors.append(
+                band_factor(BandMatrix(W=W, B=B), pivot_tol=self.pivot_tol)
+            )
+        return BatchedBandSolver(st, n, factors, engine="python")
 
 
 class BlockDiagonalBandSolver:

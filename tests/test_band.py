@@ -141,3 +141,52 @@ class TestBlockDiagonal:
         b = rng.normal(size=50)
         x = BlockDiagonalBandSolver(big)(b)
         assert np.linalg.norm(big @ x - b) / np.linalg.norm(b) < 1e-10
+
+
+class TestFactorMany:
+    """Batched factorization against one shared symbolic setup (the
+    batched-vertex / serve hot path)."""
+
+    def _batch(self, n=40, B=3, X=5, seed=12):
+        A = random_banded(n, B, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        data = np.stack(
+            [A.data + 0.05 * rng.normal(size=A.nnz) for _ in range(X)]
+        )
+        # keep every member diagonally dominant like the template
+        return A, data
+
+    def test_matches_per_matrix_solves(self):
+        from repro.sparse.band import CachedBandSolverFactory
+
+        A, data = self._batch()
+        factory = CachedBandSolverFactory()
+        solver = factory.factor_many(A, data)
+        rng = np.random.default_rng(13)
+        rhs = rng.normal(size=(data.shape[0], A.shape[0]))
+        x = solver.solve_many(rhs)
+        for k in range(data.shape[0]):
+            Ak = sp.csr_matrix((data[k], A.indices, A.indptr), shape=A.shape)
+            r = np.linalg.norm(Ak @ x[k] - rhs[k]) / np.linalg.norm(rhs[k])
+            assert r < 1e-10
+            xk = solver.solve(k, rhs[k])
+            np.testing.assert_array_equal(xk, x[k])
+
+    def test_one_symbolic_setup_per_pattern(self):
+        from repro.sparse.band import CachedBandSolverFactory
+
+        A, data = self._batch(X=6)
+        factory = CachedBandSolverFactory()
+        factory.factor_many(A, data)
+        assert factory.symbolic_setups == 1
+        assert factory.symbolic_reuses == 5  # X - 1 within the batch
+        factory.factor_many(A, data)  # second batch reuses across calls
+        assert factory.symbolic_setups == 1
+        assert factory.symbolic_reuses == 11
+
+    def test_nnz_mismatch_rejected(self):
+        from repro.sparse.band import CachedBandSolverFactory
+
+        A, data = self._batch()
+        with pytest.raises(ValueError):
+            CachedBandSolverFactory().factor_many(A, data[:, :-1])

@@ -73,3 +73,53 @@ class TestBatchedSolve:
             gd, gk = op.fields([batch_states[b, 0]])
             assert np.allclose(G_D[b], gd, atol=1e-12)
             assert np.allclose(G_K[b], gk, atol=1e-12)
+
+
+class TestBatchStatsAccounting:
+    """The work counters under partial convergence: launch-equivalents
+    count only active vertices, and every factorization of a step rides
+    one shared band symbolic setup."""
+
+    def test_equivalent_launches_exclude_frozen_vertices(
+        self, fs_q3, electron_species
+    ):
+        eq = fs_q3.interpolate(lambda r, z: maxwellian_rz(r, z, 1.0, 0.886))
+        far = fs_q3.interpolate(
+            lambda r, z: maxwellian_rz(r, z - 0.4, 1.0, 0.65)
+        )
+        states = np.stack([eq[None, :], eq[None, :], far[None, :]])
+        bs = BatchedVertexSolver(fs_q3, electron_species, rtol=1e-9)
+        bs.step(states, dt=0.5)
+        st = bs.stats
+        assert st.vertices == 3
+        # one batched launch per sweep
+        assert st.field_launches == st.newton_sweeps
+        # partial convergence: equivalents are bounded by B * sweeps and,
+        # since the two equilibrium vertices froze early, strictly below
+        assert st.newton_sweeps < st.equivalent_unbatched_launches
+        assert st.equivalent_unbatched_launches < 3 * st.newton_sweeps
+        # sum over sweeps of the active count == sum of per-vertex sweeps
+        assert st.equivalent_unbatched_launches == int(bs.last_sweeps.sum())
+        assert 1.0 < st.launch_reduction <= 3.0
+
+    def test_symbolic_setup_shared_across_batch(
+        self, fs_q3, electron_species, batch_states
+    ):
+        bs = BatchedVertexSolver(fs_q3, electron_species, rtol=1e-8)
+        bs.step(batch_states, dt=0.4)
+        st = bs.stats
+        assert st.symbolic_setups == 1
+        # every factorization after the first reused the RCM/scatter setup
+        assert st.symbolic_reuses == st.factorizations - 1
+        assert st.factorizations > batch_states.shape[0]
+
+    def test_counters_accumulate_across_steps(
+        self, fs_q3, electron_species, batch_states
+    ):
+        bs = BatchedVertexSolver(fs_q3, electron_species, rtol=1e-7)
+        bs.step(batch_states, dt=0.4)
+        first = (bs.stats.newton_sweeps, bs.stats.factorizations)
+        bs.step(batch_states, dt=0.4)
+        assert bs.stats.newton_sweeps > first[0]
+        assert bs.stats.factorizations > first[1]
+        assert bs.stats.symbolic_setups == 1  # pattern unchanged

@@ -1,0 +1,279 @@
+"""Collision solve service: plan keys, routing, admission control,
+micro-batching, the operator-plan cache, and chaos behavior under
+injected faults."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ImplicitLandauSolver, LandauOperator
+from repro.core.maxwellian import maxwellian_rz
+from repro.core.options import AssemblyOptions
+from repro.resilience import FaultInjector, ServiceOverloaded
+from repro.serve import (
+    CollisionSolveService,
+    HashRing,
+    JobHandle,
+    JobResult,
+    PlanCache,
+    ServeOptions,
+    SolveJob,
+    SolvePlan,
+)
+
+DT = 0.3
+
+
+@pytest.fixture(scope="module")
+def serve_states(request):
+    fs = request.getfixturevalue("fs_q2")
+    rng = np.random.default_rng(21)
+
+    def make(vth, drift):
+        return fs.interpolate(
+            lambda r, z: maxwellian_rz(r, z - drift, 1.0, vth)
+        )[None, :]
+
+    return [
+        make(0.886 * rng.uniform(0.8, 1.1), rng.uniform(-0.1, 0.1))
+        for _ in range(10)
+    ]
+
+
+class TestSolvePlan:
+    def test_key_stable_across_instances(self, fs_q2, electron_species):
+        p1 = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        p2 = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        assert p1.key == p2.key
+        assert p1 == p2 and hash(p1) == hash(p2)
+
+    def test_key_distinguishes_configuration(self, fs_q2, fs_q3, electron_species):
+        base = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        assert base.key != SolvePlan(fs=fs_q2, species=electron_species, dt=2 * DT).key
+        assert base.key != SolvePlan(fs=fs_q2, species=electron_species, dt=DT, rtol=1e-6).key
+        assert base.key != SolvePlan(fs=fs_q3, species=electron_species, dt=DT).key
+        assert (
+            base.key
+            != SolvePlan(
+                fs=fs_q2,
+                species=electron_species,
+                dt=DT,
+                options=AssemblyOptions.legacy(),
+            ).key
+        )
+
+    def test_validation(self, fs_q2, electron_species):
+        with pytest.raises(ValueError):
+            SolvePlan(fs=fs_q2, species=electron_species, dt=0.0)
+        with pytest.raises(ValueError):
+            SolvePlan(fs=fs_q2, species=electron_species, dt=DT, rtol=-1.0)
+
+
+class TestHashRing:
+    def test_routing_deterministic_and_in_range(self):
+        ring = HashRing(4)
+        keys = [f"plan-{i}" for i in range(200)]
+        shards = [ring.route(k) for k in keys]
+        assert shards == [ring.route(k) for k in keys]
+        assert set(shards) <= set(range(4))
+
+    def test_spreads_load(self):
+        ring = HashRing(4, vnodes=64)
+        counts = [0] * 4
+        for i in range(400):
+            counts[ring.route(f"plan-{i}")] += 1
+        assert min(counts) > 0
+
+    def test_adding_shard_remaps_bounded_fraction(self):
+        keys = [f"plan-{i}" for i in range(300)]
+        before = [HashRing(4, vnodes=64).route(k) for k in keys]
+        after = [HashRing(5, vnodes=64).route(k) for k in keys]
+        moved = sum(b != a for b, a in zip(before, after))
+        # consistent hashing moves ~1/5 of the key space; a modulo scheme
+        # would move ~4/5
+        assert moved < len(keys) // 2
+
+
+class TestJobHandle:
+    def test_result_delivered_once(self, fs_q2, electron_species, serve_states):
+        plan = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        handle = JobHandle(SolveJob(plan=plan, state=serve_states[0]))
+        res = JobResult(job_id=handle.job.job_id, status="ok")
+        handle.set_result(res)
+        with pytest.raises(RuntimeError):
+            handle.set_result(res)
+        assert handle.result(timeout=1.0) is res
+
+    def test_state_shape_validated(self, fs_q2, electron_species):
+        plan = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        with pytest.raises(ValueError):
+            SolveJob(plan=plan, state=np.zeros((2, 3)))
+
+
+class TestPlanCache:
+    def test_lru_eviction_under_budget(self, fs_q2, electron_species):
+        p1 = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        p2 = SolvePlan(fs=fs_q2, species=electron_species, dt=2 * DT)
+        probe = PlanCache(budget=1 << 40)
+        per_plan = probe.get(p1).bytes
+        cache = PlanCache(budget=int(1.5 * per_plan))
+        cache.get(p1)
+        cache.get(p1)
+        assert cache.counters()["hits"] == 1
+        cache.get(p2)  # over budget: evicts p1
+        assert cache.counters()["evictions"] == 1
+        assert len(cache) == 1
+        cache.get(p1)  # rebuilt: a miss
+        c = cache.counters()
+        assert (c["hits"], c["misses"], c["evictions"]) == (1, 3, 2)
+        assert 0 < c["bytes"] <= cache.budget
+
+    def test_single_over_budget_plan_still_served(self, fs_q2, electron_species):
+        cache = PlanCache(budget=1)  # nothing fits
+        rt = cache.get(SolvePlan(fs=fs_q2, species=electron_species, dt=DT))
+        assert rt is not None and len(cache) == 1
+
+
+class TestServeOptions:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_SHARDS", "5")
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "7")
+        monkeypatch.setenv("REPRO_SERVE_MAX_WAIT_MS", "9.5")
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_BOUND", "11")
+        opt = ServeOptions.from_env()
+        assert (opt.num_shards, opt.max_batch, opt.max_wait_ms, opt.queue_bound) == (
+            5,
+            7,
+            9.5,
+            11,
+        )
+        assert ServeOptions.from_env(num_shards=2).num_shards == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServeOptions(num_shards=0)
+        with pytest.raises(ValueError):
+            ServeOptions(executor="gpu")
+
+
+class TestAdmissionControl:
+    def test_overload_rejected(self, fs_q2, electron_species, serve_states):
+        plan = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        svc = CollisionSolveService(ServeOptions(num_shards=1, queue_bound=2))
+        svc.submit(plan, serve_states[0])
+        svc.submit(plan, serve_states[1])
+        with pytest.raises(ServiceOverloaded):
+            svc.submit(plan, serve_states[2])
+        assert svc.snapshot()["jobs"]["rejected_submissions"] == 1
+        assert svc.drain() == 2  # queued jobs still complete
+
+    def test_deadline_shedding(self, fs_q2, electron_species, serve_states):
+        plan = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        svc = CollisionSolveService(ServeOptions(num_shards=1))
+        shed = svc.submit(plan, serve_states[0], deadline_ms=0.01)
+        kept = svc.submit(plan, serve_states[1])
+        time.sleep(0.01)
+        svc.drain()
+        assert shed.result(1.0).status == "shed"
+        assert kept.result(1.0).ok
+        snap = svc.snapshot()
+        assert snap["jobs"]["shed"] == 1 and snap["jobs"]["ok"] == 1
+
+
+class TestService:
+    def test_matches_sequential(self, fs_q2, electron_species, serve_states):
+        plan = SolvePlan(fs=fs_q2, species=electron_species, dt=DT, rtol=1e-11)
+        svc = CollisionSolveService(ServeOptions(num_shards=2, max_batch=8))
+        results = svc.solve_many(plan, serve_states[:6])
+        assert all(r.ok for r in results)
+        op = LandauOperator(fs_q2, electron_species)
+        seq = ImplicitLandauSolver(op, rtol=1e-11)
+        for s, r in zip(serve_states[:6], results):
+            ref = seq.step([s[0].copy()], DT)[0]
+            assert np.abs(r.state[0] - ref).max() <= 1e-10 * np.abs(ref).max()
+
+    def test_microbatch_coalesces_and_caches(
+        self, fs_q2, electron_species, serve_states
+    ):
+        plan = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        svc = CollisionSolveService(ServeOptions(num_shards=1, max_batch=8))
+        svc.solve_many(plan, serve_states[:8])
+        svc.solve_many(plan, serve_states[:8])
+        snap = svc.snapshot()
+        assert snap["batch_size_hist"] == {"8": 2}
+        cache = snap["plan_cache"]
+        assert (cache["misses"], cache["hits"]) == (1, 1)
+        assert snap["solver"]["launch_reduction"] > 1.5
+
+    def test_threaded_dispatch(self, fs_q2, electron_species, serve_states):
+        plan = SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+        with CollisionSolveService(
+            ServeOptions(num_shards=2, max_batch=8, max_wait_ms=20.0)
+        ) as svc:
+            svc.start()
+            handles = [svc.submit(plan, s) for s in serve_states]
+            results = [h.result(120.0) for h in handles]
+            svc.stop()
+        assert all(r.ok for r in results)
+        assert {r.job_id for r in results} == {h.job.job_id for h in handles}
+
+    def test_drain_requires_stopped_service(self, fs_q2, electron_species):
+        svc = CollisionSolveService(ServeOptions(num_shards=1))
+        svc.start()
+        try:
+            with pytest.raises(RuntimeError):
+                svc.drain()
+        finally:
+            svc.stop()
+
+
+class TestChaos:
+    """Fault injection through the delivery path: jobs are retried through
+    the resilience backoff path, never lost, never executed twice, and the
+    whole run is reproducible bit for bit."""
+
+    def _run(self, fs, species, states):
+        plan = SolvePlan(fs=fs, species=species, dt=DT, rtol=1e-10)
+        injector = FaultInjector(
+            fail_first_solves=2, nan_solve_indices=(4, 7), seed=3
+        )
+        svc = CollisionSolveService(
+            ServeOptions(num_shards=2, max_batch=4), fault_injector=injector
+        )
+        handles = [svc.submit(plan, s) for s in states]
+        svc.drain()
+        return [h.result(1.0) for h in handles], svc.snapshot(), injector
+
+    def test_no_job_lost_none_twice_bitwise_stable(
+        self, fs_q2, electron_species, serve_states
+    ):
+        states = serve_states[:8]
+        r1, snap1, inj1 = self._run(fs_q2, electron_species, states)
+        r2, snap2, _ = self._run(fs_q2, electron_species, states)
+
+        # every job answered exactly once (JobHandle raises on double set)
+        assert len(r1) == len(states)
+        assert len({r.job_id for r in r1}) == len(states)
+        assert all(r.ok for r in r1)
+
+        # the injector fired and its victims went through the retry path
+        assert inj1.n_injected >= 4
+        assert snap1["jobs"]["retried"] >= 4
+        assert snap1["solver"]["retry_steps"] > 0
+
+        # deterministic drain: same batches, same faults, same bits
+        assert [r.status for r in r1] == [r.status for r in r2]
+        assert [r.retried for r in r1] == [r.retried for r in r2]
+        for a, b in zip(r1, r2):
+            np.testing.assert_array_equal(a.state, b.state)
+        assert snap1["batch_size_hist"] == snap2["batch_size_hist"]
+
+    def test_fault_injection_rejects_process_executor(self):
+        with pytest.raises(ValueError):
+            CollisionSolveService(
+                ServeOptions(num_shards=1, executor="process"),
+                fault_injector=FaultInjector(fail_first_solves=1),
+            )
