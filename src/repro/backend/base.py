@@ -1,0 +1,152 @@
+"""The execution-backend protocol: one kernel spec, pluggable executors.
+
+The paper's engineering claim is performance *portability*: the same
+Landau kernel expressed in two programming models (raw CUDA §III-B,
+Kokkos league/team/vector §III-C) over one shared data layout, so new
+architectures come nearly for free.  This module is the CPU-side
+analogue for the reproduction: every hot path — pair-table contractions,
+batched einsum assembly, sparse scatter-apply, batched band
+factorization/solve, and block-parallel builds — is expressed once
+against :class:`ExecutionBackend`, and the backends
+(:class:`~repro.backend.numpy_backend.NumpyBackend`,
+:class:`~repro.backend.threaded.ThreadedBackend`,
+:class:`~repro.backend.numba_backend.NumbaBackend`) map those operations
+onto serial numpy, chunked thread pools, or JIT-compiled kernels.
+
+Guarantees:
+
+* ``NumpyBackend`` is the reference — its dispatch is bitwise identical
+  to inlined numpy code (it forwards every operation unchanged).
+* Every other backend must match the reference to ``<= 1e-12`` relative
+  error (enforced by ``tests/test_execution_backends.py``); they may
+  reassociate floating-point sums.
+* All backends are deterministic run-to-run: parallel work is split
+  into disjoint output blocks, never racing accumulations.
+
+Backends are looked up by name through :mod:`repro.backend.registry`
+(``REPRO_BACKEND`` / :attr:`repro.core.options.AssemblyOptions.backend`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["BackendUnavailable", "ExecutionBackend"]
+
+
+class BackendUnavailable(RuntimeError):
+    """Requested backend cannot run in this environment (missing optional
+    dependency).  The message names the backend and what is missing."""
+
+
+class ExecutionBackend:
+    """Abstract executor for the operator/assembly/band-solve hot paths.
+
+    Subclasses override the mapping of each operation onto their
+    execution resources; the *mathematical* definition of every method is
+    fixed here (and implemented exactly by ``NumpyBackend``), so call
+    sites never branch on the backend.
+
+    Attributes
+    ----------
+    name:
+        registry name (``"numpy"``, ``"threaded"``, ``"numba"``).
+    workers:
+        worker count used to size parallel block splits (1 = serial).
+    """
+
+    name: str = "abstract"
+    workers: int = 1
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run here (optional deps present)."""
+        return True
+
+    # ------------------------------------------------------------------
+    # parallel-for over disjoint blocks
+    def parallel_for(
+        self, tasks: Sequence[tuple], fn: Callable[..., None]
+    ) -> bool:
+        """Run ``fn(*task)`` for every task; tasks write disjoint output.
+
+        Returns ``True`` when the tasks were actually dispatched to a
+        worker pool (callers use this to account parallel builds), and
+        ``False`` for serial execution.
+        """
+        for task in tasks:
+            fn(*task)
+        return False
+
+    def batch_blocks(self, n: int) -> list[tuple[int, int]]:
+        """Split ``[0, n)`` into contiguous ``(i0, i1)`` worker blocks."""
+        if n <= 0:
+            return []
+        w = max(1, self.workers)
+        chunk = -(-n // w)
+        return [(i0, min(i0 + chunk, n)) for i0 in range(0, n, chunk)]
+
+    # ------------------------------------------------------------------
+    # dense contractions
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Dense ``A @ B`` (the pair-table field contraction)."""
+        raise NotImplementedError
+
+    def contract(self, spec: str, *ops: np.ndarray) -> np.ndarray:
+        """Optimized einsum contraction (the batched assembly path).
+
+        Backends may partition the contraction along a leading batch
+        axis of the output; the per-item results must match the serial
+        contraction to ``<= 1e-12``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # sparse scatter-apply
+    def scatter_apply(self, T, flat: np.ndarray) -> np.ndarray:
+        """Element→CSR scatter of a batch: ``(T @ flat.T).T`` contiguous.
+
+        ``T`` is the :class:`~repro.fem.assembly.ScatterMap` operator of
+        shape ``(nnz, ne*nb*nb)``; ``flat`` is ``(X, ne*nb*nb)``.
+        Returns ``(X, nnz)``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # banded factor / solve (batched, one shared symbolic setup)
+    def banded_factor_many(
+        self, st, n: int, data: np.ndarray, pivot_tol: float = 0.0
+    ) -> tuple[str, object]:
+        """Factor ``X`` band matrices sharing one symbolic setup ``st``.
+
+        ``st`` is a :class:`repro.sparse.band._BandStructure` (duck-typed:
+        needs ``B``, ``pos`` and ``lapack_positions(n)``); ``data`` is
+        ``(X, nnz)`` CSR data rows.  Returns ``(engine, factors)`` where
+        ``engine`` names the numeric kernel used (``"lapack"``,
+        ``"python"`` or ``"numba"``) and ``factors`` is the opaque state
+        consumed by :meth:`banded_solve_many` / :meth:`banded_solve_one`.
+        """
+        raise NotImplementedError
+
+    def banded_solve_many(
+        self, engine: str, factors, st, rhs_p: np.ndarray
+    ) -> np.ndarray:
+        """Solve all factored systems; ``rhs_p`` is ``(X, n)`` already in
+        the band (RCM-permuted) ordering.  Returns permuted solutions."""
+        raise NotImplementedError
+
+    def banded_solve_one(self, engine: str, factor, st, b_p: np.ndarray) -> np.ndarray:
+        """Solve one factored system for one permuted right-hand side."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, workers={self.workers})"
+
+
+def as_blocks(blocks: Iterable[tuple[int, int]]) -> list[tuple]:
+    """Normalize ``(i0, i1)`` pairs into ``parallel_for`` task tuples."""
+    return [tuple(b) for b in blocks]

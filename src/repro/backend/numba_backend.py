@@ -1,0 +1,132 @@
+"""Optional numba backend: JIT-compiled banded LU over the W layout.
+
+Guarded import — the container may not ship numba, in which case
+:meth:`NumbaBackend.available` is ``False``, construction raises
+:class:`BackendUnavailable`, and the equivalence tests/CI leg skip.
+
+The JIT kernels implement exactly the no-pivot outer-product banded LU
+recurrence of :func:`repro.sparse.band.band_factor` (sheared window
+``V[d, c] = W[k+1+d, B-1-d+c]``) and the forward/backward substitution
+of :func:`band_solve`, batched over a contiguous ``(X, n, 2B+1)`` stack.
+Dense contractions and scatter reuse the threaded block dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BackendUnavailable
+from .threaded import ThreadedBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    _HAVE_NUMBA = True
+except ImportError:
+    njit = None
+    _HAVE_NUMBA = False
+
+__all__ = ["NumbaBackend"]
+
+_KERNELS: tuple | None = None
+
+
+def _get_kernels():  # pragma: no cover - requires numba
+    """Compile (once) the batched band factor/solve kernels."""
+    global _KERNELS
+    if _KERNELS is not None:
+        return _KERNELS
+
+    @njit(cache=False)
+    def factor_stack(W, B):
+        # W: (X, n, 2B+1), factored in place; returns 0 or 1-based index
+        # of the first zero pivot encountered.
+        X, n, _ = W.shape
+        for x in range(X):
+            for k in range(n - 1):
+                piv = W[x, k, B]
+                if piv == 0.0:
+                    return k + 1
+                m = min(B, n - 1 - k)
+                for d in range(m):
+                    l = W[x, k + 1 + d, B - 1 - d] / piv
+                    W[x, k + 1 + d, B - 1 - d] = l
+                    for c in range(1, B + 1):
+                        W[x, k + 1 + d, B - 1 - d + c] -= l * W[x, k, B + c]
+        return 0
+
+    @njit(cache=False)
+    def solve_stack(W, B, rhs):
+        # W: (X, n, 2B+1) factored; rhs: (X, n) permuted, solved in place.
+        X, n, _ = W.shape
+        for x in range(X):
+            for i in range(1, n):
+                j0 = max(0, i - B)
+                acc = 0.0
+                for j in range(j0, i):
+                    acc += W[x, i, B + j - i] * rhs[x, j]
+                rhs[x, i] -= acc
+            for i in range(n - 1, -1, -1):
+                j1 = min(n, i + B + 1)
+                acc = rhs[x, i]
+                for j in range(i + 1, j1):
+                    acc -= W[x, i, B + j - i] * rhs[x, j]
+                rhs[x, i] = acc / W[x, i, B]
+        return rhs
+
+    _KERNELS = (factor_stack, solve_stack)
+    return _KERNELS
+
+
+class NumbaBackend(ThreadedBackend):
+    """JIT banded LU + threaded dense dispatch; requires numba."""
+
+    name = "numba"
+
+    def __init__(self, num_threads: int = 0):
+        if not _HAVE_NUMBA:
+            raise BackendUnavailable(
+                "backend 'numba' requires the numba package, which is not "
+                "installed in this environment (pick 'numpy' or 'threaded', "
+                "or leave REPRO_BACKEND=auto)"
+            )
+        super().__init__(num_threads)
+
+    @classmethod
+    def available(cls) -> bool:
+        return _HAVE_NUMBA
+
+    # ------------------------------------------------------------------
+    def banded_factor_many(
+        self, st, n: int, data: np.ndarray, pivot_tol: float = 0.0
+    ) -> tuple[str, object]:  # pragma: no cover - requires numba
+        factor_stack, _ = _get_kernels()
+        X = data.shape[0]
+        B = st.B
+        Wflat = np.zeros((X, n * (2 * B + 1)))
+        Wflat[:, st.pos] = data
+        W = np.ascontiguousarray(Wflat.reshape(X, n, 2 * B + 1))
+        info = factor_stack(W, B)
+        if info != 0:
+            raise ZeroDivisionError(
+                f"zero pivot at step {info - 1} (no pivoting)"
+            )
+        return "numba", W
+
+    def banded_solve_many(
+        self, engine: str, factors, st, rhs_p: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        if engine != "numba":
+            return super().banded_solve_many(engine, factors, st, rhs_p)
+        _, solve_stack = _get_kernels()
+        return solve_stack(factors, st.B, np.ascontiguousarray(rhs_p, dtype=float))
+
+    def banded_solve_one(
+        self, engine: str, factor, st, b_p: np.ndarray
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        if engine != "numba":
+            return super().banded_solve_one(engine, factor, st, b_p)
+        _, solve_stack = _get_kernels()
+        W = np.ascontiguousarray(factor)[None]
+        rhs = np.ascontiguousarray(b_p, dtype=float)[None].copy()
+        return solve_stack(W, st.B, rhs)[0]

@@ -1,0 +1,101 @@
+"""Reference backend: serial numpy, bitwise-identical to inlined code.
+
+Every method forwards to the exact numpy/scipy expression the call sites
+used before the backend seam existed, so running with ``NumpyBackend``
+(the default) reproduces pre-refactor results *bitwise* — including the
+deterministic serve drain hashes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ExecutionBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ExecutionBackend):
+    """Serial reference execution: plain numpy + scipy LAPACK band LU."""
+
+    name = "numpy"
+    workers = 1
+
+    # ------------------------------------------------------------------
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        return A @ B
+
+    def contract(self, spec: str, *ops: np.ndarray) -> np.ndarray:
+        return np.einsum(spec, *ops, optimize=True)
+
+    def scatter_apply(self, T, flat: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray((T @ flat.T).T)
+
+    # ------------------------------------------------------------------
+    # banded batch LU: LAPACK dgbtrf/dgbtrs when available, pure-python
+    # band_factor/band_solve otherwise — the numeric kernels that lived in
+    # CachedBandSolverFactory.factor_many before the backend seam.
+    def banded_factor_many(
+        self, st, n: int, data: np.ndarray, pivot_tol: float = 0.0
+    ) -> tuple[str, object]:
+        from ..sparse.band import _HAVE_GBTRF, BandMatrix, band_factor
+
+        X = data.shape[0]
+        B = st.B
+        factors: list = [None] * X
+        if _HAVE_GBTRF:
+            from ..sparse.band import _lapack
+
+            pos = st.lapack_positions(n)
+            lda = 3 * B + 1
+
+            def factor_block(i0: int, i1: int) -> None:
+                for x in range(i0, i1):
+                    ab = np.zeros((lda, n))
+                    ab.ravel()[pos] = data[x]
+                    lub, piv, info = _lapack.dgbtrf(ab, B, B)
+                    if info != 0:
+                        raise np.linalg.LinAlgError(
+                            f"dgbtrf failed on batch entry {x} with info={info}"
+                        )
+                    factors[x] = (lub, piv)
+
+            self.parallel_for(self.batch_blocks(X), factor_block)
+            return "lapack", factors
+
+        def factor_block(i0: int, i1: int) -> None:  # pragma: no cover - no-LAPACK
+            for x in range(i0, i1):
+                W = np.zeros((n, 2 * B + 1))
+                W.ravel()[st.pos] = data[x]
+                factors[x] = band_factor(
+                    BandMatrix(W=W, B=B), pivot_tol=pivot_tol
+                )
+
+        self.parallel_for(self.batch_blocks(X), factor_block)  # pragma: no cover
+        return "python", factors  # pragma: no cover
+
+    def banded_solve_many(
+        self, engine: str, factors, st, rhs_p: np.ndarray
+    ) -> np.ndarray:
+        out = np.empty_like(rhs_p)
+        X = rhs_p.shape[0]
+
+        def solve_block(i0: int, i1: int) -> None:
+            for x in range(i0, i1):
+                out[x] = self.banded_solve_one(engine, factors[x], st, rhs_p[x])
+
+        self.parallel_for(self.batch_blocks(X), solve_block)
+        return out
+
+    def banded_solve_one(self, engine: str, factor, st, b_p: np.ndarray) -> np.ndarray:
+        if engine == "lapack":
+            from ..sparse.band import _lapack
+
+            lub, piv = factor
+            y, info = _lapack.dgbtrs(lub, st.B, st.B, b_p, piv)
+            if info != 0:  # pragma: no cover - dgbtrs never fails post-factor
+                raise np.linalg.LinAlgError(f"dgbtrs failed with info={info}")
+            return y
+        from ..sparse.band import band_solve
+
+        return band_solve(factor, b_p)

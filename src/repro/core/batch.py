@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-import scipy.sparse.linalg as spla
 
 from ..fem.function_space import FunctionSpace
 from ..sparse.band import CachedBandSolverFactory
@@ -62,8 +61,10 @@ class BatchStats:
 
     @property
     def launch_reduction(self) -> float:
+        # no launches (e.g. a batch fully shed before work started) means
+        # no reduction to report, not a 0/0
         if self.field_launches == 0:
-            return 1.0
+            return 0.0
         return self.equivalent_unbatched_launches / self.field_launches
 
 
@@ -129,8 +130,6 @@ class BatchedVertexSolver:
         and ``G_K (B, N, 2)`` via batched matmuls on the shared tables.
         """
         op = self.op
-        if not op.pair_tables_cached:  # pragma: no cover - large-N fallback
-            raise RuntimeError("batched solve requires cached pair tables")
         B, S, n = states.shape
         N = op.N
         fs = self.fs
@@ -152,48 +151,49 @@ class BatchedVertexSolver:
 
         # one big GEMM per tensor component over the whole batch
         w = op.w
-        return op.batched_fields(w * T_D, w * T_Kr, w * T_Kz)
+        return op.fields_batch(w * T_D, w * T_Kr, w * T_Kz)
 
     # ------------------------------------------------------------------
-    def _solve_active_fast(
+    def _solve_active(
         self, fk_active: np.ndarray, Mfn_active: np.ndarray, dt: float
     ) -> np.ndarray:
-        """One Picard update for the active vertices via batched assembly
-        and the shared-symbolic batched band LU.  Returns ``g (X, S, n)``.
+        """One Picard update for the active vertices.  Returns ``g (X, S, n)``.
+
+        With structure caching the whole batch goes through one batched
+        assembly (:meth:`LandauOperator.species_data_batch`) and one
+        shared-symbolic batched band LU dispatched to the operator's
+        execution backend.  Without it, each (vertex, species) system is
+        assembled per element and factored through the same cached band
+        factory — one implementation, two granularities, no separate
+        legacy solver.
         """
         op = self.op
         M = op.mass_matrix
         X = fk_active.shape[0]
         S = len(self.species)
         G_D, G_K = self._batched_fields(fk_active)
-        data = op.batched_species_data(G_D, G_K)  # (S, X, nnz)
-        # shared pattern: lhs data rows are M.data - dt * L.data directly
-        lhs = M.data[None, None, :] - dt * data
-        solver = self._factory.factor_many(M, lhs.reshape(S * X, -1))
-        self.stats.factorizations += S * X
-        rhs = np.ascontiguousarray(
-            Mfn_active.transpose(1, 0, 2).reshape(S * X, -1)
-        )
-        y = solver.solve_many(rhs)
-        return np.ascontiguousarray(
-            y.reshape(S, X, -1).transpose(1, 0, 2)
-        )
-
-    def _solve_active_legacy(
-        self, fk_active: np.ndarray, Mfn_active: np.ndarray, dt: float
-    ) -> np.ndarray:
-        """Per-vertex assembly + SuperLU fallback (legacy options)."""
-        op = self.op
-        M = op.mass_matrix
-        X = fk_active.shape[0]
+        if op.scatter_map is not None:
+            data = op.species_data_batch(G_D, G_K)  # (S, X, nnz)
+            # shared pattern: lhs data rows are M.data - dt * L.data directly
+            lhs = M.data[None, None, :] - dt * data
+            solver = self._factory.factor_batch(
+                M, lhs.reshape(S * X, -1), backend=op.backend
+            )
+            self.stats.factorizations += S * X
+            rhs = np.ascontiguousarray(
+                Mfn_active.transpose(1, 0, 2).reshape(S * X, -1)
+            )
+            y = solver.solve_many(rhs)
+            return np.ascontiguousarray(
+                y.reshape(S, X, -1).transpose(1, 0, 2)
+            )
         g = np.empty_like(fk_active)
-        G_D, G_K = self._batched_fields(fk_active)
         for x in range(X):
             mats = op.species_matrices(G_D[x], G_K[x])
             for s_idx, L in enumerate(mats):
-                lu = spla.splu((M - dt * L).tocsc())
+                solver = self._factory(M - dt * L)
                 self.stats.factorizations += 1
-                g[x, s_idx] = lu.solve(Mfn_active[x, s_idx])
+                g[x, s_idx] = solver(Mfn_active[x, s_idx])
         return g
 
     # ------------------------------------------------------------------
@@ -217,7 +217,6 @@ class BatchedVertexSolver:
         B, S, n = states.shape
         op = self.op
         M = op.mass_matrix
-        fast = op.scatter_map is not None and op.pair_tables_cached
         fn = states.copy()
         fk = states.copy()
         active = np.ones(B, dtype=bool)
@@ -241,10 +240,7 @@ class BatchedVertexSolver:
             idx = np.nonzero(active)[0]
             # frozen vertices are sliced out *before* the field launch —
             # the early-exit mask saves their G_D/G_K recomputation too
-            if fast:
-                g = self._solve_active_fast(fk[idx], Mfn[idx], dt)
-            else:
-                g = self._solve_active_legacy(fk[idx], Mfn[idx], dt)
+            g = self._solve_active(fk[idx], Mfn[idx], dt)
             self.stats.field_launches += 1
             self.stats.equivalent_unbatched_launches += int(idx.size)
 

@@ -10,111 +10,81 @@ basis and assemble the element matrix with atomic adds — including the
 interpolation of constrained (hanging) vertices to their up-to-four target
 degrees of freedom.
 
+The kernel body itself — data staging, tensor evaluation, beta sums,
+integral accumulation, transform & assemble — is the shared specification
+in :mod:`repro.backend.kernel_spec`; this module contributes only the
+CUDA *mapping*: x-dimension chunking, ``__syncthreads`` barriers, the
+hand-rolled warp-shuffle butterfly that combines lane partials, and the
+shared-memory replay of the staged KK/DD coefficients by every basis row.
+
 Execution uses :class:`repro.gpu.machine.CudaMachine` (SIMT with vectorized
 lanes), so the result is identical to the CPU reference up to floating-
 point reassociation, while every instruction and byte is counted.  The
-per-pair instruction mix constants below describe a production
-``LandauTensor2D`` (polynomial elliptic-integral approximations as in
-PETSc); they are the simulator's stand-in for counting the real device
-instructions and feed the Table IV analysis.
+per-pair instruction mix constants (re-exported from the kernel spec)
+describe a production ``LandauTensor2D`` (polynomial elliptic-integral
+approximations as in PETSc); they are the simulator's stand-in for
+counting the real device instructions and feed the Table IV analysis.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
+from ..backend.kernel_spec import (  # noqa: F401  (compat re-exports)
+    ACCUM_FMA,
+    ACCUM_MUL,
+    BETA_FMA_PER_SPECIES,
+    TENSOR_ADD,
+    TENSOR_FMA,
+    TENSOR_MUL,
+    TENSOR_SPECIAL,
+    FieldData,
+    KernelData,
+    KernelMapping,
+    element_jacobian,
+)
 from ..fem.function_space import FunctionSpace
 from ..gpu.machine import CudaMachine, ThreadBlock
-from .landau_tensor import landau_tensors_cyl
 from .species import SpeciesSet
 
-# --- per-pair instruction mix of LandauTensor2D (counted per (i, j) pair) ----
-#: FMA instructions: elliptic polynomial evaluations (two 10th-order Horner
-#: chains), the I-integral combinations and the tensor component assembly.
-TENSOR_FMA = 38
-#: plain multiplies (coordinate products, scalings)
-TENSOR_MUL = 30
-#: plain adds/subtracts
-TENSOR_ADD = 20
-#: special-function ops: sqrt, log, reciprocals
-TENSOR_SPECIAL = 4
 
-#: per (pair, species) cost of the beta-sum accumulation (Alg. 1 lines 5-8):
-#: two FMAs for T_K components, one for T_D.
-BETA_FMA_PER_SPECIES = 3
+class CudaWarpMapping(KernelMapping):
+    """The raw-CUDA mapping of the shared kernel spec (section III-B).
 
-#: per-pair G accumulation (lines 9-10): G_K += w U_K.T_K (4 FMA + 2 MUL),
-#: G_D += w T_D U_D (3 unique FMA + 1 MUL for w*T_D).
-ACCUM_FMA = 7
-ACCUM_MUL = 3
+    The inner integral strides in chunks of the block's x dimension; lane
+    partials are accumulated in registers and combined at the end with an
+    explicit warp-shuffle butterfly (log2(dim_x) rounds over the 6 unique
+    G components); the staged per-species coefficients are re-read from
+    shared memory by every basis row during the transform.
+    """
 
+    def __init__(self, tb: ThreadBlock):
+        self.tb = tb
+        self.chunk = tb.dim_x
 
-@dataclass
-class KernelData:
-    """Immutable per-mesh data consumed by the kernels (SoA packing)."""
+    def barrier(self) -> None:
+        self.tb.syncthreads()
 
-    nq: int
-    nb: int
-    nelem: int
-    N: int
-    r: np.ndarray  # (N,)
-    z: np.ndarray  # (N,)
-    w: np.ndarray  # (N,) combined weights (quad * detJ * r)
-    B: np.ndarray  # (nq, nb) basis table
-    Dref: np.ndarray  # (nq, nb, 2) reference gradients
-    inv_jac: np.ndarray  # (nelem, 2)
-    elem_targets: list[np.ndarray]  # per element: free-dof targets
-    elem_P: list[np.ndarray]  # per element: (nb, K_e) distribution weights
-    charges: np.ndarray  # (S,)
-    masses: np.ndarray  # (S,)
-    n_free: int
+    def reduce_chunk(self, UK, UD, wj, T_K, T_D):
+        # lanes are vectorized in the simulator: the einsum sums the chunk
+        # axis directly, matching the in-register lane accumulation
+        wTD = wj * T_D
+        gk = np.einsum("imxy,ym->ix", UK, wj * T_K)
+        gd = np.einsum("imxy,m->ixy", UD, wTD)
+        return gk, gd
 
-    @classmethod
-    def build(cls, fs: FunctionSpace, species: SpeciesSet) -> "KernelData":
-        dm = fs.dofmap
-        P = dm.P.tocsr()
-        elem_targets: list[np.ndarray] = []
-        elem_P: list[np.ndarray] = []
-        for e in range(fs.nelem):
-            nodes = dm.cell_nodes[e]
-            sub = P[nodes]  # (nb, n_free) sparse, few nonzero columns
-            cols = np.unique(sub.indices)
-            dense = np.asarray(sub[:, cols].todense())
-            elem_targets.append(cols.astype(np.int64))
-            elem_P.append(dense)
-        N = fs.n_integration_points
-        return cls(
-            nq=fs.nq,
-            nb=fs.nb,
-            nelem=fs.nelem,
-            N=N,
-            r=fs.qpoints[:, :, 0].reshape(N).copy(),
-            z=fs.qpoints[:, :, 1].reshape(N).copy(),
-            w=fs.qweights.reshape(N).copy(),
-            B=fs.B,
-            Dref=fs.Dref,
-            inv_jac=fs.inv_jac,
-            elem_targets=elem_targets,
-            elem_P=elem_P,
-            charges=species.charges,
-            masses=species.masses,
-            n_free=dm.n_free,
-        )
+    def finalize_integrals(self, nq: int) -> None:
+        # warp-shuffle reduction of the x-partials (Alg. 1 line 12); the
+        # simulator accumulated lanes in-line, so only the butterfly
+        # rounds are counted
+        tb = self.tb
+        rounds = max(int(np.ceil(np.log2(tb.dim_x))), 0) if tb.dim_x > 1 else 0
+        tb.counters.warp_shuffles += rounds * nq * 6  # 6 unique G components
+        tb.counters.add += rounds * nq * 6
+        tb.syncthreads()
 
-
-@dataclass
-class FieldData:
-    """Per-state data: distribution values/gradients at all IPs (SoA)."""
-
-    f: np.ndarray  # (S, N)
-    df: np.ndarray  # (2, S, N)
-
-    @classmethod
-    def build(cls, fs: FunctionSpace, fields: list[np.ndarray]) -> "FieldData":
-        packed = fs.pack_ip_data(list(fields))
-        return cls(f=packed["f"], df=packed["df"])
+    def pre_transform_reads(self, S: int, nq: int, nb: int) -> None:
+        self.tb.shared_read(S * nq * 6 * nb)  # every basis row consumes KK/DD
 
 
 def landau_jacobian_kernel(
@@ -130,108 +100,7 @@ def landau_jacobian_kernel(
     ``out`` is the global (S, n_free, n_free) matrix accumulated with
     atomic adds.
     """
-    nq, nb, N = kd.nq, kd.nb, kd.N
-    S = kd.charges.size
-    chunk = tb.dim_x
-
-    # registers: this element's integration point coordinates and weights
-    gi0 = e * nq
-    ri = kd.r[gi0 : gi0 + nq]
-    zi = kd.z[gi0 : gi0 + nq]
-    wi = kd.w[gi0 : gi0 + nq]
-    tb.global_read(3 * nq)
-
-    # per-species constant factors (registers)
-    z2 = kd.charges**2
-    z2om = z2 / kd.masses
-
-    # accumulators in registers: G_K (nq, 2), G_D (nq, 2, 2)
-    G_K = np.zeros((nq, 2))
-    G_D = np.zeros((nq, 2, 2))
-
-    nchunks = 0
-    for j0 in range(0, N, chunk):
-        j1 = min(j0 + chunk, N)
-        m = j1 - j0
-        nchunks += 1
-        # --- prefetch the chunk's beta terms into shared memory -----------------
-        rj = kd.r[j0:j1]
-        zj = kd.z[j0:j1]
-        wj = kd.w[j0:j1]
-        fj = fd.f[:, j0:j1]  # (S, m)
-        dfj = fd.df[:, :, j0:j1]  # (2, S, m)
-        tb.global_read((3 + 3 * S) * m)
-        tb.shared_write((3 + 3 * S) * m)
-        tb.syncthreads()
-
-        # --- per-pair Landau tensors in registers (lines 4) ---------------------
-        UD, UK = landau_tensors_cyl(
-            ri[:, None], zi[:, None], rj[None, :], zj[None, :]
-        )
-        tb.count(
-            fma=TENSOR_FMA * nq * m,
-            mul=TENSOR_MUL * nq * m,
-            add=TENSOR_ADD * nq * m,
-            special=TENSOR_SPECIAL * nq * m,
-        )
-        # staged chunk values are consumed as warp broadcasts: one shared
-        # transaction per value, served to all integration-point threads
-        tb.shared_read((3 + 3 * S) * m)
-
-        # --- beta sums (lines 5-8); shared across i in the simulator ------------
-        T_D = z2 @ fj  # (m,)
-        T_K = np.einsum("s,dsm->dm", z2om, dfj)  # (2, m)
-        tb.count(fma=BETA_FMA_PER_SPECIES * S * nq * m)
-
-        # --- accumulate the integrals (lines 9-11) ------------------------------
-        wTD = wj * T_D
-        G_K += np.einsum("imxy,ym->ix", UK, wj * T_K)
-        G_D += np.einsum("imxy,m->ixy", UD, wTD)
-        tb.count(fma=ACCUM_FMA * nq * m, mul=ACCUM_MUL * nq * m)
-
-    # --- warp-shuffle reduction of the x-partials (line 12) ---------------------
-    # (the simulator accumulated lanes in-line; count the butterfly rounds)
-    rounds = max(int(np.ceil(np.log2(tb.dim_x))), 0) if tb.dim_x > 1 else 0
-    tb.counters.warp_shuffles += rounds * nq * 6  # 6 unique G components
-    tb.counters.add += rounds * nq * 6
-    tb.syncthreads()
-
-    # --- per-species scaling (lines 13-16) and transform (lines 18-21) ----------
-    # K_i[a] = nu z_a^2 (m0/m_a) G_K ;  D_i[a] = -nu z_a^2 (m0/m_a)^2 G_D
-    fac_k = nu0 * z2om  # (S,)
-    fac_d = -nu0 * z2 / kd.masses**2
-    KK = fac_k[:, None, None] * G_K[None, :, :]  # (S, nq, 2)
-    DD = fac_d[:, None, None, None] * G_D[None, :, :, :]  # (S, nq, 2, 2)
-    tb.count(mul=S * nq * (2 + 4))
-    KK = KK * wi[None, :, None]
-    DD = DD * wi[None, :, None, None]
-    tb.count(mul=S * nq * (2 + 4))
-    tb.shared_write(S * nq * 6)
-    tb.syncthreads()
-
-    # --- Transform & Assemble (line 23) -----------------------------------------
-    # physical gradients of the basis at this element's IPs
-    invJ = kd.inv_jac[e]
-    gphys = kd.Dref * invJ[None, None, :]  # (nq, nb, 2)
-    tb.count(mul=nq * nb * 2)
-    tb.shared_read(S * nq * 6 * nb)  # every basis row consumes KK/DD
-    # C[s, a, b] = sum_i gphys[i,a,:] . DD[s,i] . gphys[i,b,:]
-    #            + sum_i gphys[i,a,:] . KK[s,i] B[i,b]
-    C = np.einsum("iax,sixy,iby->sab", gphys, DD, gphys, optimize=True)
-    C += np.einsum("iax,six,ib->sab", gphys, KK, kd.B, optimize=True)
-    tb.count(fma=S * kd.nq * nb * nb * 6, mul=S * kd.nq * nb * nb)
-    # basis-table operands stream through L1 for every (i, a, b) term
-    tb.shared_read(S * kd.nq * nb * nb * 3)
-
-    # --- global assembly with constrained-vertex interpolation -------------------
-    Pe = kd.elem_P[e]  # (nb, K_e)
-    tgt = kd.elem_targets[e]
-    Cfree = np.einsum("ak,sab,bl->skl", Pe, C, Pe, optimize=True)
-    # constrained faces inflate the scatter footprint (the paper's source of
-    # warp load imbalance in the assembly phase)
-    tb.count(fma=2 * S * nb * nb * Pe.shape[1])
-    idx = np.ix_(range(S), tgt, tgt)
-    tb.atomic_add(out, idx, Cfree)
+    element_jacobian(CudaWarpMapping(tb), e, kd, fd, nu0, out)
 
 
 def landau_mass_kernel(

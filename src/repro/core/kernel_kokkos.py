@@ -1,12 +1,13 @@
 """The Kokkos version of the Landau Jacobian kernel (section III-D).
 
-Same mathematics as :mod:`repro.core.kernel_cuda`, expressed through the
-Kokkos hierarchical-parallelism API: one element per league member, the
-team dimension over integration points, and the inner integral reduced
-over a ThreadVectorRange with ``vector_reduce`` (Kokkos' parallel_reduce on
-a small struct of G components) instead of the hand-rolled warp shuffles.
-Kokkos' variable-length team scratch replaces the fixed-size CUDA shared
-buffers.
+Same mathematics as :mod:`repro.core.kernel_cuda` — both are mappings of
+the single kernel specification in :mod:`repro.backend.kernel_spec` —
+expressed through the Kokkos hierarchical-parallelism API: one element per
+league member, the team dimension over integration points, and the inner
+integral reduced over a ThreadVectorRange with ``vector_reduce`` (Kokkos'
+parallel_reduce on a small struct of G components) instead of the
+hand-rolled warp shuffles.  Kokkos' variable-length team scratch replaces
+the fixed-size CUDA shared buffers.
 
 Results are identical; the backend's ``kernel_overhead`` (and, for the
 OpenMP space, the device's vectorization efficiency) is what separates the
@@ -20,19 +21,44 @@ import numpy as np
 from ..fem.function_space import FunctionSpace
 from ..kokkos.api import TeamMember, TeamPolicy, parallel_for
 from ..kokkos.backends import KokkosBackend, KOKKOS_CUDA
-from .kernel_cuda import (
-    ACCUM_FMA,
-    ACCUM_MUL,
-    BETA_FMA_PER_SPECIES,
-    TENSOR_ADD,
-    TENSOR_FMA,
-    TENSOR_MUL,
-    TENSOR_SPECIAL,
-    FieldData,
-    KernelData,
-)
-from .landau_tensor import landau_tensors_cyl
+from .kernel_cuda import FieldData, KernelData, KernelMapping, element_jacobian
 from .species import SpeciesSet
+
+
+class KokkosTeamMapping(KernelMapping):
+    """The Kokkos mapping of the shared kernel spec (section III-C).
+
+    The inner integral strides in chunks of the vector length; a
+    variable-length team-scratch pad stages each chunk's beta terms; lane
+    partials are combined *inside* the chunk loop by ``vector_reduce``
+    (Kokkos' reducer hides the warp-shuffle butterfly), so finalizing the
+    integrals needs only a team barrier; no shared-memory replay precedes
+    the transform.
+    """
+
+    def __init__(self, member: TeamMember):
+        self.member = member
+        self.tb = member.tb
+        self.chunk = member.vector_length
+
+    def stage_prologue(self, S: int, N: int) -> None:
+        # Kokkos scratch pad for the staged beta terms of each pass
+        self.member.team_scratch(3 + 3 * S, min(self.chunk, N))
+
+    def barrier(self) -> None:
+        self.member.team_barrier()
+
+    def reduce_chunk(self, UK, UD, wj, T_K, T_D):
+        # the vector-range reduction: Kokkos' parallel_reduce over a
+        # G-struct; the lane sum happens here instead of at the end
+        gk_part = np.einsum("imxy,ym->imx", UK, wj * T_K)
+        gd_part = np.einsum("imxy,m->imxy", UD, wj * T_D)
+        gk = self.member.vector_reduce(gk_part, axis=1)
+        gd = self.member.vector_reduce(gd_part, axis=1)
+        return gk, gd
+
+    def finalize_integrals(self, nq: int) -> None:
+        self.member.team_barrier()
 
 
 class KokkosLandauJacobian:
@@ -71,79 +97,11 @@ class KokkosLandauJacobian:
         S = kd.charges.size
         nu0 = self.nu0
         out = np.zeros((S, kd.n_free, kd.n_free))
-        nq, nb, N = kd.nq, kd.nb, kd.N
 
         def functor(member: TeamMember) -> None:
-            e = member.league_rank
-            tb = member.tb
-            chunk = member.vector_length
-            gi0 = e * nq
-            ri = kd.r[gi0 : gi0 + nq]
-            zi = kd.z[gi0 : gi0 + nq]
-            wi = kd.w[gi0 : gi0 + nq]
-            tb.global_read(3 * nq)
-            z2 = kd.charges**2
-            z2om = z2 / kd.masses
-
-            # Kokkos scratch pad for the staged beta terms of each pass
-            member.team_scratch(3 + 3 * S, min(chunk, N))
-            G_K = np.zeros((nq, 2))
-            G_D = np.zeros((nq, 2, 2))
-            for j0 in range(0, N, chunk):
-                j1 = min(j0 + chunk, N)
-                m = j1 - j0
-                rj, zj, wj = kd.r[j0:j1], kd.z[j0:j1], kd.w[j0:j1]
-                fj = fd.f[:, j0:j1]
-                dfj = fd.df[:, :, j0:j1]
-                tb.global_read((3 + 3 * S) * m)
-                tb.shared_write((3 + 3 * S) * m)
-                member.team_barrier()
-
-                UD, UK = landau_tensors_cyl(
-                    ri[:, None], zi[:, None], rj[None, :], zj[None, :]
-                )
-                tb.count(
-                    fma=TENSOR_FMA * nq * m,
-                    mul=TENSOR_MUL * nq * m,
-                    add=TENSOR_ADD * nq * m,
-                    special=TENSOR_SPECIAL * nq * m,
-                )
-                tb.shared_read((3 + 3 * S) * m)
-
-                T_D = z2 @ fj
-                T_K = np.einsum("s,dsm->dm", z2om, dfj)
-                tb.count(fma=BETA_FMA_PER_SPECIES * S * nq * m)
-
-                # the vector-range reduction: Kokkos' parallel_reduce over a
-                # G-struct; the lane sum happens here instead of at the end
-                gk_part = np.einsum("imxy,ym->imx", UK, wj * T_K)
-                gd_part = np.einsum("imxy,m->imxy", UD, wj * T_D)
-                G_K += member.vector_reduce(gk_part, axis=1)
-                G_D += member.vector_reduce(gd_part, axis=1)
-                tb.count(fma=ACCUM_FMA * nq * m, mul=ACCUM_MUL * nq * m)
-            member.team_barrier()
-
-            fac_k = nu0 * z2om
-            fac_d = -nu0 * z2 / kd.masses**2
-            KK = fac_k[:, None, None] * G_K[None] * wi[None, :, None]
-            DD = fac_d[:, None, None, None] * G_D[None] * wi[None, :, None, None]
-            tb.count(mul=2 * S * nq * 6)
-            tb.shared_write(S * nq * 6)
-            member.team_barrier()
-
-            invJ = kd.inv_jac[e]
-            gphys = kd.Dref * invJ[None, None, :]
-            tb.count(mul=nq * nb * 2)
-            C = np.einsum("iax,sixy,iby->sab", gphys, DD, gphys, optimize=True)
-            C += np.einsum("iax,six,ib->sab", gphys, KK, kd.B, optimize=True)
-            tb.count(fma=S * nq * nb * nb * 6, mul=S * nq * nb * nb)
-            tb.shared_read(S * nq * nb * nb * 3)
-
-            Pe = kd.elem_P[e]
-            tgt = kd.elem_targets[e]
-            Cfree = np.einsum("ak,sab,bl->skl", Pe, C, Pe, optimize=True)
-            tb.count(fma=2 * S * nb * nb * Pe.shape[1])
-            tb.atomic_add(out, np.ix_(range(S), tgt, tgt), Cfree)
+            element_jacobian(
+                KokkosTeamMapping(member), member.league_rank, kd, fd, nu0, out
+            )
 
         parallel_for(self.policy, functor, self.backend)
         return out

@@ -38,7 +38,7 @@ dict records structure reuses and parallel builds for
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 
 import numpy as np
 import scipy.sparse as sp
@@ -94,6 +94,10 @@ class LandauOperator:
         self.species = species
         self.nu0 = float(nu0)
         self.options = options if options is not None else AssemblyOptions.from_env()
+        #: the execution backend every hot path dispatches through; the
+        #: default (``auto`` with no threads requested) is the serial
+        #: numpy reference, bitwise-identical to inlined numpy code.
+        self.backend = self.options.execution_backend()
         #: assembly work accounting consumed by ``NewtonStats``:
         #: ``structure_reuses`` counts matrix builds served by the cached
         #: scatter structure, ``parallel_builds`` counts thread-pool
@@ -162,32 +166,30 @@ class LandauOperator:
         out[3, i0:i1] = UK[..., 0, 0]
         out[4, i0:i1] = UK[..., 1, 0]
 
-    def _build_packed_tables(self) -> np.ndarray:
-        """Cache the 5 unique components contiguously, optionally building
-        row blocks in parallel (the scratch tensors, not the result,
-        dominate the working set, so blocks follow the memory budget)."""
-        N = self.N
-        out = np.empty((5, N, N), dtype=self.options.dtype)
-        nthreads = self.options.resolved_threads()
+    def _row_blocks(self, N: int) -> list[tuple[int, int]]:
+        """Row blocks for O(N^2) table/field work: sized by the memory
+        budget (the scratch tensors dominate the working set), split
+        further so a parallel backend's workers all have work."""
+        workers = self.backend.workers
         chunk = min(self.options.row_chunk(N), N)
         starts = list(range(0, N, chunk))
-        if nthreads > 1 and len(starts) == 1:
-            # split anyway so the pool has work to balance
-            chunk = max(1, -(-N // nthreads))
+        if workers > 1 and len(starts) < workers:
+            chunk = max(1, -(-N // workers))
             starts = list(range(0, N, chunk))
-        blocks = [(i0, min(i0 + chunk, N)) for i0 in starts]
-        if nthreads > 1 and len(blocks) > 1:
-            with ThreadPoolExecutor(max_workers=nthreads) as pool:
-                futures = [
-                    pool.submit(self._fill_packed_rows, out, i0, i1)
-                    for i0, i1 in blocks
-                ]
-                for f in futures:
-                    f.result()
+        return [(i0, min(i0 + chunk, N)) for i0 in starts]
+
+    def _build_packed_tables(self) -> np.ndarray:
+        """Cache the 5 unique components contiguously; row blocks are
+        dispatched through the backend (disjoint output slices, numpy
+        releases the GIL in the contractions)."""
+        N = self.N
+        out = np.empty((5, N, N), dtype=self.options.dtype)
+
+        def fill(i0: int, i1: int) -> None:
+            self._fill_packed_rows(out, i0, i1)
+
+        if self.backend.parallel_for(self._row_blocks(N), fill):
             self.counters["parallel_builds"] += 1
-        else:
-            for i0, i1 in blocks:
-                self._fill_packed_rows(out, i0, i1)
         return out
 
     @property
@@ -226,6 +228,7 @@ class LandauOperator:
         Krz_Kz, Kzz_Kz)``, each ``(N, K)`` float64.  Requires cached
         tables.
         """
+        mm = self.backend.matmul
         if self._packed is not None:
             P = self._packed
             dt = P.dtype
@@ -235,14 +238,14 @@ class LandauOperator:
             rhs_dk = np.concatenate([wTD, wTKz], axis=1).astype(dt, copy=False)
             rhs_d = rhs_dk[:, :K]
             rhs_k = wTKr.astype(dt, copy=False)
-            Y_rz = P[1] @ rhs_dk  # (N, 2K): Drz@wTD | Krz@wTKz
-            Y_zz = P[2] @ rhs_dk  # (N, 2K): Dzz@wTD | Kzz@wTKz
+            Y_rz = mm(P[1], rhs_dk)  # (N, 2K): Drz@wTD | Krz@wTKz
+            Y_zz = mm(P[2], rhs_dk)  # (N, 2K): Dzz@wTD | Kzz@wTKz
             return (
-                (P[0] @ rhs_d).astype(np.float64, copy=False),
+                mm(P[0], rhs_d).astype(np.float64, copy=False),
                 Y_rz[:, :K].astype(np.float64, copy=False),
                 Y_zz[:, :K].astype(np.float64, copy=False),
-                (P[3] @ rhs_k).astype(np.float64, copy=False),
-                (P[4] @ rhs_k).astype(np.float64, copy=False),
+                mm(P[3], rhs_k).astype(np.float64, copy=False),
+                mm(P[4], rhs_k).astype(np.float64, copy=False),
                 Y_rz[:, K:].astype(np.float64, copy=False),
                 Y_zz[:, K:].astype(np.float64, copy=False),
             )
@@ -250,13 +253,13 @@ class LandauOperator:
         if t is None:
             raise RuntimeError("table products require cached pair tables")
         return (
-            t["Drr"] @ wTD,
-            t["Drz"] @ wTD,
-            t["Dzz"] @ wTD,
-            t["Krr"] @ wTKr,
-            t["Kzr"] @ wTKr,
-            t["Krz"] @ wTKz,
-            t["Kzz"] @ wTKz,
+            mm(t["Drr"], wTD),
+            mm(t["Drz"], wTD),
+            mm(t["Dzz"], wTD),
+            mm(t["Krr"], wTKr),
+            mm(t["Kzr"], wTKr),
+            mm(t["Krz"], wTKz),
+            mm(t["Kzz"], wTKz),
         )
 
     @staticmethod
@@ -275,25 +278,35 @@ class LandauOperator:
         G_K[:, :, 1] = (Kzr + Kzz).T
         return G_D, G_K
 
-    def fields(
-        self, fields: list[np.ndarray]
+    def fields_batch(
+        self, wTD: np.ndarray, wTKr: np.ndarray, wTKz: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Compute ``G_D (N, 2, 2)`` and ``G_K (N, 2)`` at all IPs."""
-        T_D, T_K = self.beta_sums(fields)
-        wTD = self.w * T_D
-        wTKr = self.w * T_K[0]
-        wTKz = self.w * T_K[1]
-        N = self.N
+        """``G_D (B, N, 2, 2)`` / ``G_K (B, N, 2)`` for a batch of
+        weighted source vectors of shape ``(B, N)``.
+
+        This is *the* field implementation: the per-state
+        :meth:`fields` is the ``B = 1`` slice of the same code.  With
+        cached tables each tensor component is one contraction over the
+        whole batch (the :class:`~repro.core.batch.BatchedVertexSolver`
+        hot path); without them the tensors are re-evaluated on the fly
+        in backend-dispatched row blocks sized by the memory budget.
+        """
         if self.pair_tables_cached:
-            G_D, G_K = self._fields_from_products(
-                self._table_products(wTD[:, None], wTKr[:, None], wTKz[:, None])
+            return self._fields_from_products(
+                self._table_products(
+                    np.ascontiguousarray(wTD.T),
+                    np.ascontiguousarray(wTKr.T),
+                    np.ascontiguousarray(wTKz.T),
+                )
             )
-            return G_D[0], G_K[0]
-        # chunked on-the-fly evaluation (large N); the row chunk follows
-        # the assembly memory budget instead of a hard-coded constant
-        G_D = np.zeros((N, 2, 2))
-        G_K = np.zeros((N, 2))
-        chunk = min(self.options.row_chunk(N), N)
+        N = self.N
+        B = wTD.shape[0]
+        G_D = np.zeros((B, N, 2, 2))
+        G_K = np.zeros((B, N, 2))
+        # (N, B) column sources for the per-block contractions
+        cTD = np.ascontiguousarray(wTD.T)
+        cTKr = np.ascontiguousarray(wTKr.T)
+        cTKz = np.ascontiguousarray(wTKz.T)
 
         def eval_rows(i0: int, i1: int) -> None:
             UD, UK = landau_tensors_cyl(
@@ -302,42 +315,40 @@ class LandauOperator:
                 self.r[None, :],
                 self.z[None, :],
             )
-            G_D[i0:i1, 0, 0] = UD[..., 0, 0] @ wTD
-            G_D[i0:i1, 0, 1] = UD[..., 0, 1] @ wTD
-            G_D[i0:i1, 1, 0] = G_D[i0:i1, 0, 1]
-            G_D[i0:i1, 1, 1] = UD[..., 1, 1] @ wTD
-            G_K[i0:i1, 0] = UK[..., 0, 0] @ wTKr + UK[..., 0, 1] @ wTKz
-            G_K[i0:i1, 1] = UK[..., 1, 0] @ wTKr + UK[..., 1, 1] @ wTKz
+            G_D[:, i0:i1, 0, 0] = (UD[..., 0, 0] @ cTD).T
+            G_D[:, i0:i1, 0, 1] = (UD[..., 0, 1] @ cTD).T
+            G_D[:, i0:i1, 1, 0] = G_D[:, i0:i1, 0, 1]
+            G_D[:, i0:i1, 1, 1] = (UD[..., 1, 1] @ cTD).T
+            G_K[:, i0:i1, 0] = (UK[..., 0, 0] @ cTKr + UK[..., 0, 1] @ cTKz).T
+            G_K[:, i0:i1, 1] = (UK[..., 1, 0] @ cTKr + UK[..., 1, 1] @ cTKz).T
 
-        blocks = [(i0, min(i0 + chunk, N)) for i0 in range(0, N, chunk)]
-        nthreads = self.options.resolved_threads()
-        if nthreads > 1 and len(blocks) > 1:
-            with ThreadPoolExecutor(max_workers=nthreads) as pool:
-                futures = [pool.submit(eval_rows, i0, i1) for i0, i1 in blocks]
-                for f in futures:
-                    f.result()
+        if self.backend.parallel_for(self._row_blocks(N), eval_rows):
             self.counters["parallel_builds"] += 1
-        else:
-            for i0, i1 in blocks:
-                eval_rows(i0, i1)
         return G_D, G_K
+
+    def fields(
+        self, fields: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compute ``G_D (N, 2, 2)`` and ``G_K (N, 2)`` at all IPs."""
+        T_D, T_K = self.beta_sums(fields)
+        G_D, G_K = self.fields_batch(
+            (self.w * T_D)[None],
+            (self.w * T_K[0])[None],
+            (self.w * T_K[1])[None],
+        )
+        return G_D[0], G_K[0]
 
     def batched_fields(
         self, wTD: np.ndarray, wTKr: np.ndarray, wTKz: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """``G_D (B, N, 2, 2)`` / ``G_K (B, N, 2)`` for a batch of
-        weighted source vectors of shape ``(B, N)`` — one big contraction
-        per table component over the whole batch (the
-        :class:`~repro.core.batch.BatchedVertexSolver` hot path)."""
-        if not self.pair_tables_cached:
-            raise RuntimeError("batched field evaluation requires cached pair tables")
-        return self._fields_from_products(
-            self._table_products(
-                np.ascontiguousarray(wTD.T),
-                np.ascontiguousarray(wTKr.T),
-                np.ascontiguousarray(wTKz.T),
-            )
+        """Deprecated alias of :meth:`fields_batch` (which no longer
+        requires cached pair tables)."""
+        warnings.warn(
+            "LandauOperator.batched_fields is deprecated; use fields_batch",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.fields_batch(wTD, wTKr, wTKz)
 
     # ------------------------------------------------------------------
     def species_coefficients(
@@ -367,67 +378,23 @@ class LandauOperator:
             self.counters["structure_reuses"] += 1
         return self._scatter
 
-    def species_matrices(
-        self, G_D: np.ndarray, G_K: np.ndarray
-    ) -> list[sp.csr_matrix]:
-        """All species' collision matrices for given fields.
-
-        With structure caching on, this exploits that every species' weak
-        form is the *same pair* of element integrals scaled by per-species
-        constants: the diffusion and friction element blocks are built
-        once, scattered once each through the cached structure, and the S
-        species matrices are then axpy combinations of the two data
-        vectors sharing one sparsity — no per-species assembly at all.
-        """
-        if self._scatter is None:
-            return [
-                self.species_matrix(a, G_D, G_K)
-                for a in range(len(self.species))
-            ]
-        sm = self._scatter
-        fs = self.fs
-        ne, nq = fs.qweights.shape
-        gphys = sm.gphys
-        w = fs.qweights
-        CeD = np.einsum(
-            "eq,eqad,eqdc,eqbc->eab",
-            w,
-            gphys,
-            G_D.reshape(ne, nq, 2, 2),
-            gphys,
-            optimize=True,
-        )
-        CeK = np.einsum(
-            "eq,eqad,eqd,qb->eab",
-            w,
-            gphys,
-            G_K.reshape(ne, nq, 2),
-            fs.B,
-            optimize=True,
-        )
-        dD = sm.scatter_data(CeD)
-        dK = sm.scatter_data(CeK)
-        out = []
-        for s in self.species:
-            fac_k = self.nu0 * s.charge**2 / s.mass
-            fac_d = -self.nu0 * s.charge**2 / s.mass**2
-            out.append(sm.matrix(fac_d * dD + fac_k * dK))
-            self.counters["structure_reuses"] += 1
-        return out
-
-    def batched_species_data(
+    def species_data_batch(
         self, G_D: np.ndarray, G_K: np.ndarray
     ) -> np.ndarray:
-        """Per-species CSR ``data`` rows for a *batch* of field sets.
+        """Per-species CSR ``data`` rows for a batch of field sets.
 
         ``G_D (X, N, 2, 2)`` / ``G_K (X, N, 2)`` hold the fields of ``X``
         independent vertex states; the result is ``(S, X, nnz)`` — the
         collision-matrix data of every (species, vertex) pair, all sharing
         the cached scatter structure's sparsity (wrap rows with
-        :attr:`scatter_map` ``.matrix``).  The whole batch is assembled
-        with two einsum contractions and two sparse matmuls instead of
-        ``X`` per-vertex assemblies — the batched-dispatch analogue of
-        :meth:`species_matrices`.  Requires structure caching.
+        :attr:`scatter_map` ``.matrix``).  This is *the* species-build
+        implementation — :meth:`species_matrices` is its ``X = 1`` slice:
+        every species' weak form is the same pair of element integrals
+        scaled by per-species constants, so the diffusion and friction
+        element blocks are contracted once for the whole batch (through
+        :meth:`ExecutionBackend.contract`), scattered once each through
+        the cached structure, and the S·X data rows are axpy combinations
+        sharing one sparsity.  Requires structure caching.
         """
         sm = self._scatter
         if sm is None:
@@ -439,24 +406,26 @@ class LandauOperator:
         X = G_D.shape[0]
         w = fs.qweights
         gphys = sm.gphys
-        CeD = np.einsum(
+        CeD = self.backend.contract(
             "eq,eqad,xeqdc,eqbc->xeab",
             w,
             gphys,
             G_D.reshape(X, ne, nq, 2, 2),
             gphys,
-            optimize=True,
         )
-        CeK = np.einsum(
+        CeK = self.backend.contract(
             "eq,eqad,xeqd,qb->xeab",
             w,
             gphys,
             G_K.reshape(X, ne, nq, 2),
             fs.B,
-            optimize=True,
         )
-        dD = sm.scatter_data_batch(CeD)
-        dK = sm.scatter_data_batch(CeK)
+        dD = self.backend.scatter_apply(
+            sm.T, np.ascontiguousarray(CeD).reshape(X, -1)
+        )
+        dK = self.backend.scatter_apply(
+            sm.T, np.ascontiguousarray(CeK).reshape(X, -1)
+        )
         S = len(self.species)
         out = np.empty((S, X, dD.shape[1]))
         for s_idx, s in enumerate(self.species):
@@ -466,6 +435,33 @@ class LandauOperator:
             out[s_idx] += fac_k * dK
         self.counters["structure_reuses"] += S * X
         return out
+
+    def species_matrices(
+        self, G_D: np.ndarray, G_K: np.ndarray
+    ) -> list[sp.csr_matrix]:
+        """All species' collision matrices for given fields — the
+        ``X = 1`` slice of :meth:`species_data_batch` wrapped in the
+        cached CSR structure (per-element assembly when structure caching
+        is off)."""
+        if self._scatter is None:
+            return [
+                self.species_matrix(a, G_D, G_K)
+                for a in range(len(self.species))
+            ]
+        data = self.species_data_batch(G_D[None], G_K[None])
+        return [self._scatter.matrix(data[a, 0]) for a in range(len(self.species))]
+
+    def batched_species_data(
+        self, G_D: np.ndarray, G_K: np.ndarray
+    ) -> np.ndarray:
+        """Deprecated alias of :meth:`species_data_batch`."""
+        warnings.warn(
+            "LandauOperator.batched_species_data is deprecated; use "
+            "species_data_batch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.species_data_batch(G_D, G_K)
 
     @property
     def scatter_map(self):

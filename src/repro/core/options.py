@@ -100,6 +100,11 @@ class AssemblyOptions:
         force (True/False) or auto-decide (None) caching of the O(N^2)
         tables; a forced True that exceeds ``memory_budget`` raises
         :class:`PairTableMemoryError`.
+    backend:
+        execution backend name (``auto`` | ``numpy`` | ``threaded`` |
+        ``numba``) for the operator/assembly/band-solve hot paths; see
+        :mod:`repro.backend`.  ``auto`` picks ``threaded`` when
+        ``num_threads > 1`` and the serial reference otherwise.
     """
 
     cache_structure: bool = True
@@ -108,6 +113,7 @@ class AssemblyOptions:
     table_dtype: str = "float64"
     memory_budget: int = DEFAULT_MEMORY_BUDGET
     cache_pair_tables: bool | None = None
+    backend: str = "auto"
 
     def __post_init__(self):
         if self.table_dtype not in ("float64", "float32"):
@@ -120,6 +126,8 @@ class AssemblyOptions:
             raise ValueError(
                 f"memory_budget must be positive, got {self.memory_budget}"
             )
+        # fail fast on unknown backend names (typo'd REPRO_BACKEND etc.)
+        self.resolved_backend()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -128,11 +136,14 @@ class AssemblyOptions:
 
         Recognized variables: ``REPRO_ASSEMBLY_CACHE_STRUCTURE``,
         ``REPRO_ASSEMBLY_PACKED_TABLES``, ``REPRO_ASSEMBLY_THREADS``,
-        ``REPRO_ASSEMBLY_TABLE_DTYPE``, ``REPRO_ASSEMBLY_MEMORY_BUDGET``
-        and ``REPRO_ASSEMBLY_CACHE_TABLES`` (``auto``/``1``/``0``).
+        ``REPRO_ASSEMBLY_TABLE_DTYPE``, ``REPRO_ASSEMBLY_MEMORY_BUDGET``,
+        ``REPRO_ASSEMBLY_CACHE_TABLES`` (``auto``/``1``/``0``) and
+        ``REPRO_BACKEND`` (``auto``/``numpy``/``threaded``/``numba``).
         Keyword arguments win over the environment.
         """
         values = {
+            "backend": os.environ.get("REPRO_BACKEND", "auto").strip().lower()
+            or "auto",
             "cache_structure": _env_bool("REPRO_ASSEMBLY_CACHE_STRUCTURE", True),
             "packed_tables": _env_bool("REPRO_ASSEMBLY_PACKED_TABLES", True),
             "num_threads": _env_int("REPRO_ASSEMBLY_THREADS", 0),
@@ -176,6 +187,20 @@ class AssemblyOptions:
     def resolved_threads(self) -> int:
         """Effective worker count (>= 1)."""
         return max(1, int(self.num_threads))
+
+    def resolved_backend(self) -> str:
+        """Concrete backend name with ``auto`` resolved; raises
+        ``ValueError`` on unknown names (the message lists valid ones)."""
+        from ..backend.registry import resolve_backend_name
+
+        return resolve_backend_name(self.backend, self.resolved_threads())
+
+    def execution_backend(self):
+        """The resolved :class:`~repro.backend.ExecutionBackend` instance
+        (cached per name/thread-count in the registry)."""
+        from ..backend.registry import get_backend
+
+        return get_backend(self.backend, self.resolved_threads())
 
     def table_bytes(self, n_ip: int) -> int:
         """Bytes a cached table set would occupy for ``n_ip`` points."""

@@ -85,10 +85,13 @@ class SolvePlan:
                 f":{self.max_newton}:{self.accel_m}".encode()
             )
             opt = self.options
+            # the *resolved* backend name is part of the plan identity:
+            # shards must never batch jobs expecting different backends,
+            # and "auto" must coalesce with its concrete resolution
             h.update(
                 f"{opt.cache_structure}:{opt.packed_tables}:{opt.num_threads}"
                 f":{opt.table_dtype}:{opt.memory_budget}"
-                f":{opt.cache_pair_tables}".encode()
+                f":{opt.cache_pair_tables}:{opt.resolved_backend()}".encode()
             )
             cached = h.hexdigest()
             object.__setattr__(self, "_key", cached)

@@ -386,7 +386,7 @@ class CollisionSolveService:
         solver_tot["launch_reduction"] = (
             solver_tot.get("equivalent_unbatched_launches", 0) / launches
             if launches
-            else 1.0
+            else 0.0
         )
         return {
             "options": {

@@ -231,8 +231,10 @@ class ShardWorker:
                 agg["retry_steps"] += rt._retry_solver.stats.time_steps
                 agg["retry_backoffs"] += rt._retry_solver.stats.dt_backoffs
         launches = agg["field_launches"]
+        # 0.0, not 1.0: a shard whose batches all shed before launching
+        # did no batched work and reports no reduction
         agg["launch_reduction"] = (
-            agg["equivalent_unbatched_launches"] / launches if launches else 1.0
+            agg["equivalent_unbatched_launches"] / launches if launches else 0.0
         )
         return agg
 

@@ -24,6 +24,7 @@ and of the batched LU in the artifact repository.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -248,17 +249,31 @@ class BatchedBandSolver:
 
     The serve/batch hot path factors ``X`` matrices per sweep that all come
     from the same :class:`ScatterMap` structure — identical sparsity, hence
-    identical RCM ordering, bandwidth and CSR→band scatter.  This holds the
-    ``X`` numeric factorizations (LAPACK ``dgbtrf`` partial-pivoting band LU
-    when available, the pure-python :func:`band_factor` otherwise) and
-    solves all right-hand sides with the shared permutation applied once.
+    identical RCM ordering, bandwidth and CSR→band scatter.  The numeric
+    kernels (LAPACK ``dgbtrf``/``dgbtrs``, pure-python
+    :func:`band_factor`/:func:`band_solve`, or numba's JIT variant) live in
+    the :class:`~repro.backend.ExecutionBackend` that produced the factors;
+    this wrapper owns the shared symbolic state and applies the RCM
+    permutation once per solve call.
     """
 
-    def __init__(self, st: _BandStructure, n: int, factors: list, engine: str):
+    def __init__(
+        self,
+        st: _BandStructure,
+        n: int,
+        factors,
+        engine: str,
+        backend=None,
+    ):
+        if backend is None:
+            from ..backend.numpy_backend import NumpyBackend
+
+            backend = NumpyBackend()
         self._st = st
         self.n = n
         self._factors = factors
         self.engine = engine
+        self._backend = backend
 
     @property
     def batch_size(self) -> int:
@@ -272,30 +287,19 @@ class BatchedBandSolver:
                 f"rhs must be ({len(self._factors)}, {self.n}), got {rhs.shape}"
             )
         st = self._st
-        out = np.empty_like(rhs)
-        if self.engine == "lapack":
-            B = st.B
-            for x, (lub, piv) in enumerate(self._factors):
-                y, info = _lapack.dgbtrs(lub, B, B, rhs[x, st.perm], piv)
-                if info != 0:  # pragma: no cover - dgbtrs never fails post-factor
-                    raise np.linalg.LinAlgError(f"dgbtrs failed with info={info}")
-                out[x] = y[st.iperm]
-        else:
-            for x, bm in enumerate(self._factors):
-                out[x] = band_solve(bm, rhs[x, st.perm])[st.iperm]
-        return out
+        out = self._backend.banded_solve_many(
+            self.engine, self._factors, st, np.ascontiguousarray(rhs[:, st.perm])
+        )
+        return out[:, st.iperm]
 
     def solve(self, index: int, b: np.ndarray) -> np.ndarray:
         """Solve the ``index``-th system for one right-hand side."""
         st = self._st
         b = np.asarray(b, dtype=float)
-        if self.engine == "lapack":
-            lub, piv = self._factors[index]
-            y, info = _lapack.dgbtrs(lub, st.B, st.B, b[st.perm], piv)
-            if info != 0:  # pragma: no cover
-                raise np.linalg.LinAlgError(f"dgbtrs failed with info={info}")
-            return y[st.iperm]
-        return band_solve(self._factors[index], b[st.perm])[st.iperm]
+        y = self._backend.banded_solve_one(
+            self.engine, self._factors[index], st, b[st.perm]
+        )
+        return y[st.iperm]
 
 
 class CachedBandSolverFactory:
@@ -309,7 +313,7 @@ class CachedBandSolverFactory:
     call.  A small LRU keyed on the CSR pattern holds the structures;
     results are identical to :class:`BandSolver`.
 
-    :meth:`factor_many` extends the reuse across a *batch*: ``X`` matrices
+    :meth:`factor_batch` extends the reuse across a *batch*: ``X`` matrices
     sharing one pattern (the batched-vertex / serve hot path) are factored
     against a single symbolic setup — the batched analogue of the paper
     follow-up's batched band solvers.
@@ -367,8 +371,8 @@ class CachedBandSolverFactory:
         return _CachedBandSolver(bm, st)
 
     # ------------------------------------------------------------------
-    def factor_many(
-        self, template: sp.csr_matrix, data: np.ndarray
+    def factor_batch(
+        self, template: sp.csr_matrix, data: np.ndarray, backend=None
     ) -> BatchedBandSolver:
         """Factor ``X`` matrices sharing ``template``'s sparsity pattern.
 
@@ -377,9 +381,11 @@ class CachedBandSolverFactory:
         per matrix, aligned with ``template.indices``.  The symbolic setup
         (RCM ordering, bandwidth, scatter positions) is computed or reused
         *once* for the whole batch; each additional matrix counts as a
-        symbolic reuse.  Numerics go through LAPACK's partial-pivoting band
-        LU (``dgbtrf``) when available, the pure-python no-pivot
-        :func:`band_factor` otherwise.
+        symbolic reuse.  The numeric factorizations are dispatched through
+        ``backend`` (:meth:`ExecutionBackend.banded_factor_many`; the
+        serial numpy reference when ``None``): LAPACK's partial-pivoting
+        band LU when available, the pure-python no-pivot
+        :func:`band_factor` or numba's JIT kernel otherwise.
         """
         template = sp.csr_matrix(template)
         data = np.ascontiguousarray(data, dtype=float)
@@ -390,28 +396,27 @@ class CachedBandSolverFactory:
         st = self._structure(template)
         self.symbolic_reuses += max(0, data.shape[0] - 1)
         n = template.shape[0]
-        B = st.B
-        factors: list = []
-        if _HAVE_GBTRF:
-            pos = st.lapack_positions(n)
-            lda = 3 * B + 1
-            for x in range(data.shape[0]):
-                ab = np.zeros((lda, n))
-                ab.ravel()[pos] = data[x]
-                lub, piv, info = _lapack.dgbtrf(ab, B, B)
-                if info != 0:
-                    raise np.linalg.LinAlgError(
-                        f"dgbtrf failed on batch entry {x} with info={info}"
-                    )
-                factors.append((lub, piv))
-            return BatchedBandSolver(st, n, factors, engine="lapack")
-        for x in range(data.shape[0]):  # pragma: no cover - no-LAPACK fallback
-            W = np.zeros((n, 2 * B + 1))
-            W.ravel()[st.pos] = data[x]
-            factors.append(
-                band_factor(BandMatrix(W=W, B=B), pivot_tol=self.pivot_tol)
-            )
-        return BatchedBandSolver(st, n, factors, engine="python")
+        if backend is None:
+            from ..backend.registry import get_backend
+
+            backend = get_backend("numpy")
+        engine, factors = backend.banded_factor_many(
+            st, n, data, pivot_tol=self.pivot_tol
+        )
+        return BatchedBandSolver(st, n, factors, engine, backend=backend)
+
+    def factor_many(
+        self, template: sp.csr_matrix, data: np.ndarray
+    ) -> BatchedBandSolver:
+        """Deprecated alias of :meth:`factor_batch` (serial reference
+        backend)."""
+        warnings.warn(
+            "CachedBandSolverFactory.factor_many is deprecated; use "
+            "factor_batch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.factor_batch(template, data)
 
 
 class BlockDiagonalBandSolver:

@@ -161,7 +161,7 @@ class TestFactorMany:
 
         A, data = self._batch()
         factory = CachedBandSolverFactory()
-        solver = factory.factor_many(A, data)
+        solver = factory.factor_batch(A, data)
         rng = np.random.default_rng(13)
         rhs = rng.normal(size=(data.shape[0], A.shape[0]))
         x = solver.solve_many(rhs)
@@ -177,10 +177,10 @@ class TestFactorMany:
 
         A, data = self._batch(X=6)
         factory = CachedBandSolverFactory()
-        factory.factor_many(A, data)
+        factory.factor_batch(A, data)
         assert factory.symbolic_setups == 1
         assert factory.symbolic_reuses == 5  # X - 1 within the batch
-        factory.factor_many(A, data)  # second batch reuses across calls
+        factory.factor_batch(A, data)  # second batch reuses across calls
         assert factory.symbolic_setups == 1
         assert factory.symbolic_reuses == 11
 
@@ -189,4 +189,4 @@ class TestFactorMany:
 
         A, data = self._batch()
         with pytest.raises(ValueError):
-            CachedBandSolverFactory().factor_many(A, data[:, :-1])
+            CachedBandSolverFactory().factor_batch(A, data[:, :-1])

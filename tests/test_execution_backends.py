@@ -1,0 +1,244 @@
+"""The execution-backend layer: registry/env selection, cross-backend
+numerical equivalence on a two-species quench vertex, the deprecation
+shims, and the launch-reduction zero-launch regression."""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKEND_NAMES,
+    BackendUnavailable,
+    NumbaBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    available_backends,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.core import LandauOperator
+from repro.core.batch import BatchedVertexSolver, BatchStats
+from repro.core.maxwellian import maxwellian_rz, species_maxwellian
+from repro.core.options import AssemblyOptions
+from repro.serve.shard import ShardWorker
+from repro.sparse.band import CachedBandSolverFactory
+
+TOL = 1e-12
+
+#: backends exercised by the equivalence suite; numba rides along only
+#: where the container actually has it
+EQUIV_BACKENDS = [
+    n for n in ("numpy", "threaded", "numba") if n in available_backends()
+]
+
+
+@pytest.fixture(scope="module")
+def quench_fields(ed_fs, ed_species):
+    """A thermal-quench vertex: electrons cooled to 70% of their thermal
+    speed with a small flow, cold bulk deuterium unchanged."""
+    e, d = ed_species[0], ed_species[1]
+    fe = ed_fs.interpolate(
+        lambda r, z: maxwellian_rz(r, z - 0.1, 1.0, 0.7 * e.thermal_velocity)
+    )
+    fd = ed_fs.interpolate(species_maxwellian(d))
+    return [fe, fd]
+
+
+def _operator(fs, species, backend_name):
+    return LandauOperator(
+        fs,
+        species,
+        options=AssemblyOptions.from_env(
+            backend=backend_name,
+            num_threads=2 if backend_name != "numpy" else 0,
+        ),
+    )
+
+
+class TestRegistry:
+    def test_auto_resolution(self):
+        assert resolve_backend_name("auto", num_threads=1) == "numpy"
+        assert resolve_backend_name("auto", num_threads=4) == "threaded"
+        assert resolve_backend_name(None, num_threads=1) == "numpy"
+        assert resolve_backend_name("", num_threads=2) == "threaded"
+
+    def test_unknown_name_lists_valid_choices(self):
+        with pytest.raises(ValueError, match="auto, numpy, threaded, numba"):
+            resolve_backend_name("cupy")
+        assert set(BACKEND_NAMES) == {"numpy", "threaded", "numba"}
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("threaded", num_threads=3) is get_backend(
+            "threaded", num_threads=3
+        )
+
+    def test_numpy_always_available(self):
+        assert "numpy" in available_backends()
+        assert "threaded" in available_backends()
+
+    @pytest.mark.skipif(
+        NumbaBackend.available(), reason="numba installed in this container"
+    )
+    def test_missing_numba_is_actionable(self):
+        with pytest.raises(BackendUnavailable, match="numba"):
+            get_backend("numba")
+
+    def test_options_reject_bad_backend(self):
+        with pytest.raises(ValueError, match="execution backend"):
+            AssemblyOptions(backend="bogus")
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "threaded")
+        assert AssemblyOptions.from_env().backend == "threaded"
+        monkeypatch.setenv("REPRO_BACKEND", "Numpy ")
+        assert AssemblyOptions.from_env().resolved_backend() == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "cuda")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            AssemblyOptions.from_env()
+
+
+class TestBackendPrimitives:
+    """The small ops every backend must reproduce from the reference."""
+
+    @pytest.mark.parametrize("name", EQUIV_BACKENDS)
+    def test_matmul_contract_scatter(self, name):
+        ref = NumpyBackend()
+        be = get_backend(name, num_threads=4)
+        rng = np.random.default_rng(11)
+        A = rng.normal(size=(37, 23))
+        Bm = rng.normal(size=(23, 41))
+        assert np.allclose(be.matmul(A, Bm), ref.matmul(A, Bm), atol=TOL)
+        X = rng.normal(size=(5, 7, 3))
+        Y = rng.normal(size=(7, 3))
+        got = be.contract("bij,ij->bi", X, Y)
+        assert np.allclose(got, ref.contract("bij,ij->bi", X, Y), atol=TOL)
+
+    def test_parallel_for_covers_all_blocks(self):
+        be = ThreadedBackend(num_threads=4)
+        hits = np.zeros(97, dtype=int)
+
+        def fill(i0, i1):
+            hits[i0:i1] += 1
+
+        be.parallel_for(be.batch_blocks(97), fill)
+        assert np.all(hits == 1)
+
+
+class TestQuenchEquivalence:
+    """Every backend matches the numpy reference to <= 1e-12 on the
+    two-species quench vertex: Jacobian, implicit step, band solves."""
+
+    @pytest.mark.parametrize("name", EQUIV_BACKENDS)
+    def test_jacobian_matches(self, ed_fs, ed_species, quench_fields, name):
+        ref = _operator(ed_fs, ed_species, "numpy")
+        op = _operator(ed_fs, ed_species, name)
+        J_ref = ref.jacobian(quench_fields)
+        J = op.jacobian(quench_fields)
+        for a in range(len(ed_species)):
+            scale = np.abs(J_ref[a].data).max()
+            assert (
+                np.abs((J[a] - J_ref[a]).toarray()).max() <= TOL * scale
+            ), f"species {a} Jacobian diverges on backend {name}"
+
+    @pytest.mark.parametrize("name", EQUIV_BACKENDS)
+    def test_batched_step_matches(self, ed_fs, ed_species, quench_fields, name):
+        states = np.stack(
+            [
+                np.stack(quench_fields),
+                np.stack([0.9 * quench_fields[0], quench_fields[1]]),
+            ]
+        )
+        kw = dict(rtol=1e-9)
+        ref = BatchedVertexSolver(
+            ed_fs,
+            ed_species,
+            options=AssemblyOptions.from_env(backend="numpy"),
+            **kw,
+        )
+        bs = BatchedVertexSolver(
+            ed_fs,
+            ed_species,
+            options=AssemblyOptions.from_env(backend=name, num_threads=2),
+            **kw,
+        )
+        out_ref = ref.step(states, dt=0.05)
+        out = bs.step(states, dt=0.05)
+        assert np.all(bs.last_converged)
+        scale = np.abs(out_ref).max()
+        assert np.abs(out - out_ref).max() <= TOL * scale
+
+    @pytest.mark.parametrize("name", EQUIV_BACKENDS)
+    def test_batched_band_solve_matches(
+        self, ed_fs, ed_species, quench_fields, name
+    ):
+        op = _operator(ed_fs, ed_species, "numpy")
+        M = op.mass_matrix.tocsr()
+        L = op.jacobian(quench_fields)[0].tocsr()
+        template = (M - 0.05 * L).tocsr()
+        rng = np.random.default_rng(3)
+        X = 4
+        data = np.stack(
+            [template.data * (1.0 + 0.01 * x) for x in range(X)]
+        )
+        rhs = rng.normal(size=(X, template.shape[0]))
+
+        ref_solver = CachedBandSolverFactory().factor_batch(
+            template, data, backend=NumpyBackend()
+        )
+        solver = CachedBandSolverFactory().factor_batch(
+            template, data, backend=get_backend(name, num_threads=2)
+        )
+        out_ref = ref_solver.solve_many(rhs)
+        out = solver.solve_many(rhs)
+        scale = np.abs(out_ref).max()
+        assert np.abs(out - out_ref).max() <= TOL * scale
+        one = solver.solve(2, rhs[2])
+        assert np.abs(one - out_ref[2]).max() <= TOL * scale
+
+
+class TestDeprecationShims:
+    def test_batched_fields_shim(self, ed_fs, ed_species, quench_fields):
+        op = _operator(ed_fs, ed_species, "numpy")
+        T_D, T_K = op.beta_sums(quench_fields)
+        args = (
+            (op.w * T_D)[None],
+            (op.w * T_K[0])[None],
+            (op.w * T_K[1])[None],
+        )
+        G_D, G_K = op.fields_batch(*args)
+        with pytest.warns(DeprecationWarning, match="fields_batch"):
+            G_D2, G_K2 = op.batched_fields(*args)
+        assert np.array_equal(G_D, G_D2) and np.array_equal(G_K, G_K2)
+
+    def test_batched_species_data_shim(self, ed_fs, ed_species, quench_fields):
+        op = _operator(ed_fs, ed_species, "numpy")
+        G_D, G_K = op.fields(quench_fields)
+        data = op.species_data_batch(G_D[None], G_K[None])
+        with pytest.warns(DeprecationWarning, match="species_data_batch"):
+            data2 = op.batched_species_data(G_D[None], G_K[None])
+        assert np.array_equal(data, data2)
+
+    def test_factor_many_shim(self, ed_fs, ed_species, quench_fields):
+        op = _operator(ed_fs, ed_species, "numpy")
+        template = op.mass_matrix.tocsr()
+        data = np.stack([template.data, 2.0 * template.data])
+        ref = CachedBandSolverFactory().factor_batch(template, data)
+        factory = CachedBandSolverFactory()
+        with pytest.warns(DeprecationWarning, match="factor_batch"):
+            legacy = factory.factor_many(template, data)
+        b = np.linspace(0.0, 1.0, template.shape[0])
+        assert np.array_equal(legacy.solve(0, b), ref.solve(0, b))
+
+
+class TestLaunchReductionRegression:
+    """field_launches == 0 must report a reduction of 0.0, not divide."""
+
+    def test_batch_stats_zero_launches(self):
+        assert BatchStats().launch_reduction == 0.0
+        st = BatchStats(field_launches=4, equivalent_unbatched_launches=12)
+        assert st.launch_reduction == 3.0
+
+    def test_shard_aggregate_zero_launches(self):
+        agg = ShardWorker(shard_id=0).solver_counters()
+        assert agg["field_launches"] == 0
+        assert agg["launch_reduction"] == 0.0
