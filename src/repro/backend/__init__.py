@@ -2,8 +2,10 @@
 
 One kernel spec, many executors: the operator/assembly/band-solve hot
 paths dispatch through :class:`ExecutionBackend`, selected by name
-(``numpy`` | ``threaded`` | ``numba``, or ``auto``) via
-:func:`get_backend` / the ``REPRO_BACKEND`` env knob.
+(``numpy`` | ``threaded`` | ``numba`` | ``process``, or ``auto``) via
+:func:`get_backend` / the ``REPRO_BACKEND`` env knob.  The ``process``
+backend executes blocks on persistent worker processes over a
+shared-memory arena (:mod:`repro.backend.shm`), escaping the GIL.
 
 The shared Algorithm-1 kernel specification lives in
 ``repro.backend.kernel_spec`` and is imported directly by the CUDA and
@@ -14,12 +16,14 @@ core/gpu imports).
 from .base import BackendUnavailable, ExecutionBackend
 from .numba_backend import NumbaBackend
 from .numpy_backend import NumpyBackend
+from .process_pool import ProcessPoolBackend
 from .registry import (
     BACKEND_NAMES,
     available_backends,
     get_backend,
     resolve_backend_name,
 )
+from .shm import SharedArena, ShmBudgetExceeded, ShmHandle
 from .threaded import ThreadedBackend
 
 __all__ = [
@@ -28,6 +32,10 @@ __all__ = [
     "ExecutionBackend",
     "NumbaBackend",
     "NumpyBackend",
+    "ProcessPoolBackend",
+    "SharedArena",
+    "ShmBudgetExceeded",
+    "ShmHandle",
     "ThreadedBackend",
     "available_backends",
     "get_backend",

@@ -13,6 +13,7 @@ from __future__ import annotations
 from .base import BackendUnavailable, ExecutionBackend
 from .numba_backend import NumbaBackend
 from .numpy_backend import NumpyBackend
+from .process_pool import ProcessPoolBackend
 from .threaded import ThreadedBackend
 
 __all__ = [
@@ -27,6 +28,7 @@ _BACKENDS: dict[str, type[ExecutionBackend]] = {
     "numpy": NumpyBackend,
     "threaded": ThreadedBackend,
     "numba": NumbaBackend,
+    "process": ProcessPoolBackend,
 }
 
 BACKEND_NAMES: tuple[str, ...] = tuple(_BACKENDS)

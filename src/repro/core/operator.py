@@ -133,6 +133,11 @@ class LandauOperator:
             else:
                 self._tables = self._build_pair_tables()
         self._scatter = get_scatter_map(fs) if self.options.cache_structure else None
+        if self._scatter is not None:
+            # long-lived read-only assembly state: a process-parallel
+            # backend publishes these into shared memory once so the
+            # batched contractions ship handles, not pickled copies
+            self.backend.register_shared(self._scatter.gphys)
         self._mass: sp.csr_matrix | None = None
 
     # ------------------------------------------------------------------
@@ -181,9 +186,15 @@ class LandauOperator:
     def _build_packed_tables(self) -> np.ndarray:
         """Cache the 5 unique components contiguously; row blocks are
         dispatched through the backend (disjoint output slices, numpy
-        releases the GIL in the contractions)."""
+        releases the GIL in the contractions).
+
+        The buffer comes from :meth:`ExecutionBackend.alloc_shared`: a
+        private ``np.empty`` on in-process backends, a shared-memory
+        segment on the process backend — so the O(N^2) tables live
+        exactly once per machine and every worker contracts against the
+        same physical pages."""
         N = self.N
-        out = np.empty((5, N, N), dtype=self.options.dtype)
+        out = self.backend.alloc_shared((5, N, N), dtype=self.options.dtype)
 
         def fill(i0: int, i1: int) -> None:
             self._fill_packed_rows(out, i0, i1)
@@ -195,6 +206,14 @@ class LandauOperator:
     @property
     def pair_tables_cached(self) -> bool:
         return self._tables is not None or self._packed is not None
+
+    @property
+    def packed_table_buffer(self) -> np.ndarray | None:
+        """The packed ``(5, N, N)`` pair-table buffer in ``_PACKED``
+        component order, or ``None`` (legacy layout / tables not cached).
+        On the process backend this is a shared-memory view — the tables
+        physically live once per machine."""
+        return self._packed
 
     # ------------------------------------------------------------------
     def beta_sums(self, fields: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:

@@ -102,9 +102,12 @@ class AssemblyOptions:
         :class:`PairTableMemoryError`.
     backend:
         execution backend name (``auto`` | ``numpy`` | ``threaded`` |
-        ``numba``) for the operator/assembly/band-solve hot paths; see
-        :mod:`repro.backend`.  ``auto`` picks ``threaded`` when
-        ``num_threads > 1`` and the serial reference otherwise.
+        ``numba`` | ``process``) for the operator/assembly/band-solve
+        hot paths; see :mod:`repro.backend`.  ``auto`` picks ``threaded``
+        when ``num_threads > 1`` and the serial reference otherwise;
+        ``process`` dispatches blocks to persistent worker processes
+        over shared memory (worker count from ``num_threads`` or
+        ``REPRO_PROCESS_WORKERS``, arena cap ``REPRO_SHM_BUDGET``).
     """
 
     cache_structure: bool = True
@@ -138,7 +141,8 @@ class AssemblyOptions:
         ``REPRO_ASSEMBLY_PACKED_TABLES``, ``REPRO_ASSEMBLY_THREADS``,
         ``REPRO_ASSEMBLY_TABLE_DTYPE``, ``REPRO_ASSEMBLY_MEMORY_BUDGET``,
         ``REPRO_ASSEMBLY_CACHE_TABLES`` (``auto``/``1``/``0``) and
-        ``REPRO_BACKEND`` (``auto``/``numpy``/``threaded``/``numba``).
+        ``REPRO_BACKEND``
+        (``auto``/``numpy``/``threaded``/``numba``/``process``).
         Keyword arguments win over the environment.
         """
         values = {

@@ -66,6 +66,10 @@ class ShardMetrics:
     batches: int = 0
     batch_size_hist: dict = field(default_factory=dict)
     max_queue_depth: int = 0
+    #: times this shard's worker process died and was re-initialized
+    #: (thread-mode shards never restart; the service adds its parent-side
+    #: count for process-mode shards, whose in-worker counters reset)
+    worker_restarts: int = 0
     latency: LatencyRing = field(default_factory=LatencyRing)
 
     def record_batch(self, size: int) -> None:
@@ -93,6 +97,7 @@ class ShardMetrics:
                 str(k): v for k, v in sorted(self.batch_size_hist.items())
             },
             "max_queue_depth": self.max_queue_depth,
+            "worker_restarts": self.worker_restarts,
             "latency": self.latency.percentiles() | {"samples": len(self.latency)},
         }
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -28,6 +28,15 @@ from ..core.species import SpeciesSet
 from ..fem.function_space import FunctionSpace
 
 __all__ = ["SolvePlan", "PlanRuntime", "PlanCache"]
+
+#: set by the process-executor worker initializer (``shard._process_init``).
+#: Inside a shard worker the ``process`` backend is clamped to
+#: ``threaded``: a nested ProcessPoolExecutor created in a pool worker
+#: completes its work but deadlocks the worker's interpreter shutdown
+#: (the grandchildren's manager threads never join), and shard-per-process
+#: already *is* the process-level parallelism.  ``threaded`` produces
+#: identical results (both executors run the same disjoint-block kernels).
+IN_PROCESS_WORKER = False
 
 
 def _space_fingerprint(fs: FunctionSpace) -> str:
@@ -124,6 +133,14 @@ class PlanRuntime:
 
     def __init__(self, plan: SolvePlan):
         self.plan = plan
+        options = plan.options
+        if IN_PROCESS_WORKER:
+            # options=None would re-read REPRO_BACKEND from the env in
+            # the operator, so resolve here before clamping
+            if options is None:
+                options = AssemblyOptions.from_env()
+            if options.resolved_backend() == "process":
+                options = replace(options, backend="threaded")
         self.solver = BatchedVertexSolver(
             plan.fs,
             plan.species,
@@ -131,7 +148,7 @@ class PlanRuntime:
             rtol=plan.rtol,
             max_newton=plan.max_newton,
             accel_m=plan.accel_m,
-            options=plan.options,
+            options=options,
         )
         self._retry_solver = None
 

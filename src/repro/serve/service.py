@@ -22,7 +22,14 @@ key) and executes them at high throughput:
   (:meth:`start`) trade that for latency.
 
 ``executor="process"`` moves each shard into its own
-``ProcessPoolExecutor`` worker (one warm worker per shard).
+``ProcessPoolExecutor`` worker (one warm worker per shard).  Plans are
+published to a shard's worker once; each batch then ships only job
+metadata plus the state stack through a shared-memory segment
+(:mod:`repro.backend.shm`), so the warm ``PlanRuntime`` tensors live
+exactly once per machine.  A worker killed mid-flight
+(``BrokenProcessPool``) is re-initialized and the batch retried once —
+``drain()`` never crashes on a dead worker — with the restart surfaced
+as ``worker_restarts`` in shard snapshots.
 """
 
 from __future__ import annotations
@@ -34,15 +41,25 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import suppress
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend.shm import SharedArena, ShmBudgetExceeded
 from ..resilience.exceptions import ServiceOverloaded
-from .jobs import JobHandle, JobResult, SolveJob
+from .jobs import STATUS_FAILED, JobHandle, JobResult, SolveJob
 from .metrics import merge_histograms
 from .plan import SolvePlan
-from .shard import ShardWorker, _process_execute, _process_init, _process_snapshot
+from .shard import (
+    PlanNotPublished,
+    ShardWorker,
+    _process_execute,
+    _process_init,
+    _process_publish_plan,
+    _process_snapshot,
+)
 
 __all__ = ["ServeOptions", "HashRing", "CollisionSolveService"]
 
@@ -139,8 +156,11 @@ class CollisionSolveService:
         self.options = options or ServeOptions.from_env()
         if fault_injector is not None and self.options.executor == "process":
             raise ValueError(
-                "fault injection requires executor='thread' "
-                "(injector state lives in the submitting process)"
+                "fault injection requires executor='thread': the injector's "
+                "seeded counters live in the submitting process and cannot "
+                "follow jobs into shard worker processes. Unset "
+                "REPRO_SERVE_EXECUTOR=process (or pass "
+                "ServeOptions(executor='thread')) to run chaos scenarios."
             )
         n = self.options.num_shards
         self.ring = HashRing(n, vnodes=self.options.vnodes)
@@ -153,15 +173,14 @@ class CollisionSolveService:
         self._started = False
         self._workers: list[ShardWorker] | None = None
         self._pools: list[ProcessPoolExecutor] | None = None
+        #: per shard: plan keys already published to its worker process
+        self._published_plans: list[set] = [set() for _ in range(n)]
+        #: per shard: times its worker process died and was re-initialized
+        self._restarts = [0] * n
+        self._arena: SharedArena | None = None
         if self.options.executor == "process":
-            self._pools = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    initializer=_process_init,
-                    initargs=(s, self.options.plan_budget),
-                )
-                for s in range(n)
-            ]
+            self._pools = [self._make_pool(s) for s in range(n)]
+            self._arena = SharedArena(tag="serve")
         else:
             self._workers = [
                 ShardWorker(
@@ -171,6 +190,24 @@ class CollisionSolveService:
                 )
                 for s in range(n)
             ]
+
+    def _make_pool(self, shard: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_process_init,
+            initargs=(shard, self.options.plan_budget),
+        )
+
+    def _restart_worker(self, shard: int) -> None:
+        """Replace a dead shard worker process (satellite of the paper's
+        resilience story: one crashed rank must not take down the drain)."""
+        assert self._pools is not None
+        old = self._pools[shard]
+        with suppress(Exception):
+            old.shutdown(wait=False, cancel_futures=True)
+        self._pools[shard] = self._make_pool(shard)
+        self._published_plans[shard].clear()
+        self._restarts[shard] += 1
 
     # ------------------------------------------------------------------
     # admission
@@ -250,13 +287,85 @@ class CollisionSolveService:
         jobs = [job for job, _ in batch]
         handles = {job.job_id: handle for job, handle in batch}
         if self._pools is not None:
-            pairs = self._pools[shard].submit(_process_execute, jobs).result()
-            for job_id, res in pairs:
+            for job_id, res in self._execute_process(shard, jobs):
                 handles[job_id].set_result(res)
         else:
             assert self._workers is not None
             for job, res in self._workers[shard].execute_batch(jobs):
                 handles[job.job_id].set_result(res)
+
+    # ------------------------------------------------------------------
+    # process-executor dispatch: publish-once plans, shm state shipping,
+    # BrokenProcessPool self-healing
+    def _publish_plan(self, shard: int, plan: SolvePlan) -> None:
+        assert self._pools is not None
+        if plan.key not in self._published_plans[shard]:
+            self._pools[shard].submit(_process_publish_plan, plan).result()
+            self._published_plans[shard].add(plan.key)
+
+    def _process_round(self, shard: int, jobs: list[SolveJob]) -> list[tuple]:
+        """One publish-if-needed + execute round against a shard worker."""
+        assert self._pools is not None and self._arena is not None
+        plan = jobs[0].plan
+        self._publish_plan(shard, plan)
+        states = np.stack([j.state for j in jobs])
+        meta = [(j.job_id, j.deadline, j.submitted) for j in jobs]
+        seg = handle = None
+        try:
+            seg = self._arena.alloc(states.shape, states.dtype)
+            seg[...] = states
+            handle = self._arena.handle_of(seg)
+            payload = ("shm", handle)
+        except (ShmBudgetExceeded, OSError):
+            payload = ("inline", states)
+        try:
+            pool = self._pools[shard]
+            try:
+                return pool.submit(
+                    _process_execute, plan.key, meta, payload
+                ).result()
+            except PlanNotPublished:
+                # defensive: the worker lost its store without breaking
+                # the pool — republish and retry once
+                self._published_plans[shard].discard(plan.key)
+                self._publish_plan(shard, plan)
+                return pool.submit(
+                    _process_execute, plan.key, meta, payload
+                ).result()
+        finally:
+            if handle is not None:
+                del seg
+                self._arena.free(handle.name)
+
+    def _execute_process(self, shard: int, jobs: list[SolveJob]) -> list[tuple]:
+        try:
+            return self._process_round(shard, jobs)
+        except BrokenProcessPool:
+            self._restart_worker(shard)
+            try:
+                return self._process_round(shard, jobs)
+            except BrokenProcessPool:
+                # died twice on the same batch: fail these jobs, keep the
+                # service alive for the rest of the drain
+                self._restart_worker(shard)
+                now = time.monotonic()
+                return [
+                    (
+                        j.job_id,
+                        JobResult(
+                            job_id=j.job_id,
+                            status=STATUS_FAILED,
+                            error=(
+                                "shard worker process died twice executing "
+                                "this batch"
+                            ),
+                            shard=shard,
+                            batch_size=len(jobs),
+                            latency_s=now - j.submitted,
+                        ),
+                    )
+                    for j in jobs
+                ]
 
     def _dispatch_loop(self, shard: int) -> None:
         cond = self._conds[shard]
@@ -322,8 +431,12 @@ class CollisionSolveService:
         self.stop()
         if self._pools is not None:
             for pool in self._pools:
-                pool.shutdown(wait=True)
+                with suppress(Exception):
+                    pool.shutdown(wait=True)
             self._pools = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "CollisionSolveService":
         return self
@@ -354,9 +467,15 @@ class CollisionSolveService:
     # observability
     def shard_snapshots(self) -> list[dict]:
         if self._pools is not None:
-            snaps = [
-                pool.submit(_process_snapshot).result() for pool in self._pools
-            ]
+            snaps = []
+            for s, pool in enumerate(self._pools):
+                try:
+                    snaps.append(pool.submit(_process_snapshot).result())
+                except BrokenProcessPool:
+                    self._restart_worker(s)
+                    snaps.append(
+                        self._pools[s].submit(_process_snapshot).result()
+                    )
         else:
             assert self._workers is not None
             snaps = [w.snapshot() for w in self._workers]
@@ -364,6 +483,11 @@ class CollisionSolveService:
             snap["rejected_submissions"] = self._rejected[s]
             snap["max_queue_depth"] = max(
                 snap.get("max_queue_depth", 0), self._max_depth[s]
+            )
+            # worker-side counters reset with the process; the parent's
+            # restart count is authoritative and additive
+            snap["worker_restarts"] = (
+                snap.get("worker_restarts", 0) + self._restarts[s]
             )
         return snaps
 
@@ -404,6 +528,9 @@ class CollisionSolveService:
                 "retried": sum(s["jobs_retried"] for s in shards),
                 "rejected_submissions": sum(
                     s["rejected_submissions"] for s in shards
+                ),
+                "worker_restarts": sum(
+                    s.get("worker_restarts", 0) for s in shards
                 ),
             },
             "batch_size_hist": merge_histograms(

@@ -19,7 +19,13 @@ tables and band symbolics are built once), and the execution pipeline:
 
 With ``executor="process"`` the same pipeline runs inside a
 ``concurrent.futures.ProcessPoolExecutor`` worker (one per shard), with a
-module-global plan cache warmed per process.
+module-global plan cache warmed per process.  Plans are **published**
+once per worker (:func:`_process_publish_plan`) so per-batch dispatch
+ships only the plan key, job metadata and the state stack — the states
+ride a shared-memory segment (:mod:`repro.backend.shm`), and the warm
+``PlanRuntime`` tensors never cross the pipe at all.  A worker that has
+lost its plans (fresh or restarted process) raises
+:class:`PlanNotPublished` and the service republishes and retries.
 """
 
 from __future__ import annotations
@@ -246,18 +252,75 @@ class ShardWorker:
 
 
 # ----------------------------------------------------------------------
-# process-executor support: one warm ShardWorker per worker process
+# process-executor support: one warm ShardWorker per worker process.
+#
+# Publication protocol: the service ships each SolvePlan to a shard's
+# worker exactly once (_process_publish_plan); per-batch calls carry only
+# (plan key, job metadata, state payload).  The state stack travels in a
+# shared-memory segment owned by the service's arena — the worker copies
+# it out and the service frees the segment when the call returns — so the
+# per-batch pickle traffic is O(job ids), not O(plan runtime).
 
 _PROCESS_WORKER: ShardWorker | None = None
+
+#: plans published into this worker process, keyed by SolvePlan.key
+_PLAN_STORE: dict[str, "SolvePlan"] = {}
+
+
+class PlanNotPublished(RuntimeError):
+    """This worker has no published plan for the requested key (it is
+    fresh, or was restarted after a crash); the service republishes the
+    plan and retries the batch."""
 
 
 def _process_init(shard_id: int, plan_budget: int | None) -> None:
     global _PROCESS_WORKER
+    from . import plan as plan_mod
+
+    # runtimes built in this worker clamp backend "process" -> "threaded"
+    # (nested process pools deadlock worker shutdown; see plan.py)
+    plan_mod.IN_PROCESS_WORKER = True
     _PROCESS_WORKER = ShardWorker(shard_id, plan_budget=plan_budget)
+    _PLAN_STORE.clear()
 
 
-def _process_execute(jobs: list[SolveJob]) -> list[tuple[str, JobResult]]:
+def _process_publish_plan(plan) -> str:
+    """Install one plan in this worker's store (idempotent)."""
     assert _PROCESS_WORKER is not None, "process worker not initialized"
+    _PLAN_STORE[plan.key] = plan
+    return plan.key
+
+
+def _process_execute(
+    plan_key: str, meta: list[tuple], payload
+) -> list[tuple[str, JobResult]]:
+    """Run one micro-batch against a previously published plan.
+
+    ``meta`` is ``[(job_id, deadline, submitted), ...]``; ``payload`` is
+    ``("shm", ShmHandle)`` for a shared-memory ``(B, S, n)`` state stack
+    or ``("inline", ndarray)`` when the arena declined the segment.
+    """
+    assert _PROCESS_WORKER is not None, "process worker not initialized"
+    plan = _PLAN_STORE.get(plan_key)
+    if plan is None:
+        raise PlanNotPublished(plan_key)
+    kind, data = payload
+    if kind == "shm":
+        from ..backend.shm import attach_copy
+
+        states = attach_copy(data)
+    else:
+        states = np.asarray(data)
+    jobs = [
+        SolveJob(
+            plan=plan,
+            state=states[i],
+            job_id=job_id,
+            deadline=deadline,
+            submitted=submitted,
+        )
+        for i, (job_id, deadline, submitted) in enumerate(meta)
+    ]
     return [
         (job.job_id, res) for job, res in _PROCESS_WORKER.execute_batch(jobs)
     ]

@@ -27,7 +27,9 @@ TOL = 1e-12
 #: backends exercised by the equivalence suite; numba rides along only
 #: where the container actually has it
 EQUIV_BACKENDS = [
-    n for n in ("numpy", "threaded", "numba") if n in available_backends()
+    n
+    for n in ("numpy", "threaded", "numba", "process")
+    if n in available_backends()
 ]
 
 
@@ -62,9 +64,11 @@ class TestRegistry:
         assert resolve_backend_name("", num_threads=2) == "threaded"
 
     def test_unknown_name_lists_valid_choices(self):
-        with pytest.raises(ValueError, match="auto, numpy, threaded, numba"):
+        with pytest.raises(
+            ValueError, match="auto, numpy, threaded, numba, process"
+        ):
             resolve_backend_name("cupy")
-        assert set(BACKEND_NAMES) == {"numpy", "threaded", "numba"}
+        assert set(BACKEND_NAMES) == {"numpy", "threaded", "numba", "process"}
 
     def test_instances_are_cached(self):
         assert get_backend("numpy") is get_backend("numpy")
@@ -95,6 +99,28 @@ class TestRegistry:
         monkeypatch.setenv("REPRO_BACKEND", "cuda")
         with pytest.raises(ValueError, match="REPRO_BACKEND"):
             AssemblyOptions.from_env()
+
+    def test_process_backend_registered(self, monkeypatch):
+        assert "process" in available_backends()
+        assert resolve_backend_name("process", num_threads=1) == "process"
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert AssemblyOptions.from_env().resolved_backend() == "process"
+
+    def test_process_serial_fallback_is_bitwise_numpy(self, monkeypatch):
+        """workers == 1 never spawns processes and matches numpy bitwise."""
+        from repro.backend.process_pool import ProcessPoolBackend
+
+        monkeypatch.setenv("REPRO_PROCESS_WORKERS", "1")
+        pb = ProcessPoolBackend()
+        try:
+            assert pb.workers == 1 and pb._pools is None
+            rng = np.random.default_rng(5)
+            A = rng.normal(size=(19, 13))
+            Bm = rng.normal(size=(13, 17))
+            assert np.array_equal(pb.matmul(A, Bm), NumpyBackend().matmul(A, Bm))
+            assert pb._pools is None  # still no worker processes
+        finally:
+            pb.close()
 
 
 class TestBackendPrimitives:

@@ -1,0 +1,295 @@
+"""Shared-memory arena lifecycle and the process-pool backend.
+
+Covers the ISSUE-6 tentpole contracts: segment ownership (create /
+attach / unlink, no orphans in ``/dev/shm``), zero-copy operand shipping
+with IPC accounting, worker-resident band factors, and the serial
+fallback.  All multi-process tests pin ``workers=2`` explicitly — the
+CI box may have a single CPU and the default would degenerate to the
+serial path.
+"""
+
+import gc
+import glob
+import os
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.backend import NumpyBackend, SharedArena, ShmBudgetExceeded
+from repro.backend.process_pool import ProcessPoolBackend, _RemoteFactors
+from repro.backend.shm import attach_array, attach_copy
+from repro.sparse.band import CachedBandSolverFactory
+
+TOL = 1e-12
+
+
+def _own_segments() -> set[str]:
+    """This process's arena segments currently visible in /dev/shm.
+
+    Compared as before/after deltas, never against emptiness: backends
+    cached in the registry by other test modules legitimately keep
+    published segments alive for the life of the session.
+    """
+    return set(glob.glob(f"/dev/shm/rpro-{os.getpid()}-*"))
+
+
+@pytest.fixture
+def backend():
+    before = _own_segments()
+    be = ProcessPoolBackend(num_threads=2)
+    yield be
+    be.close()
+    assert _own_segments() <= before, "backend close left orphaned segments"
+
+
+class TestSharedArena:
+    def test_alloc_and_handle_roundtrip(self):
+        before = _own_segments()
+        arena = SharedArena(tag="t")
+        try:
+            arr = arena.alloc((4, 6))
+            arr[...] = np.arange(24.0).reshape(4, 6)
+            h = arena.handle_of(arr)
+            assert h is not None and h.offset == 0
+            assert np.array_equal(attach_array(h), arr)
+            assert np.array_equal(attach_copy(h), arr)
+        finally:
+            arena.close()
+        assert _own_segments() <= before
+
+    def test_handle_of_resolves_contiguous_views(self):
+        arena = SharedArena(tag="t")
+        try:
+            arr = arena.alloc((5, 3, 3))
+            arr[...] = np.arange(45.0).reshape(5, 3, 3)
+            # a component plane of the packed pair tables is exactly this
+            plane = arr[2]
+            h = arena.handle_of(plane)
+            assert h is not None and h.offset == 2 * 9 * 8
+            assert np.array_equal(attach_copy(h), plane)
+            # non-contiguous views do not resolve
+            assert arena.handle_of(arr[:, :, 0]) is None
+        finally:
+            arena.close()
+
+    def test_publish_is_idempotent_for_arena_backed(self):
+        arena = SharedArena(tag="t")
+        try:
+            arr = arena.alloc((8,))
+            arr[...] = 1.0
+            h1 = arena.publish(arr)
+            assert h1.name in {s.split("/")[-1] for s in _own_segments()}
+            assert arena.created_segments == 1  # no second copy
+            outside = np.full(8, 2.0)
+            h2 = arena.publish(outside)
+            assert h2.name != h1.name
+            assert np.array_equal(attach_copy(h2), outside)
+        finally:
+            arena.close()
+
+    def test_free_is_idempotent_and_close_is_double_safe(self):
+        before = _own_segments()
+        arena = SharedArena(tag="t")
+        arr = arena.alloc((16,))
+        h = arena.handle_of(arr)
+        arena.free(h.name)
+        arena.free(h.name)  # second free is a no-op
+        assert arena.freed_segments == 1
+        arena.close()
+        arena.close()  # double close is safe
+        assert _own_segments() <= before
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.alloc((4,))
+
+    def test_budget_exceeded_raises(self):
+        arena = SharedArena(tag="t", budget=1024)
+        try:
+            with pytest.raises(ShmBudgetExceeded, match="REPRO_SHM_BUDGET"):
+                arena.alloc((1024,))  # 8 KiB > 1 KiB budget
+            small = arena.alloc((64,))  # within budget still works
+            assert small.nbytes == 512
+        finally:
+            arena.close()
+
+    def test_budget_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_BUDGET", "2048")
+        arena = SharedArena(tag="t")
+        try:
+            assert arena.budget == 2048
+        finally:
+            arena.close()
+        monkeypatch.setenv("REPRO_SHM_BUDGET", "lots")
+        with pytest.raises(ValueError, match="REPRO_SHM_BUDGET"):
+            SharedArena(tag="t")
+
+    def test_dead_owner_segments_reclaimed(self):
+        """A SIGKILLed owner never runs its atexit unlink; the next arena
+        construction sweeps its leftovers out of /dev/shm."""
+        import multiprocessing as mp
+
+        child = mp.get_context("fork").Process(target=lambda: None)
+        child.start()
+        child.join()
+        dead_pid = child.pid
+        leftover = f"/dev/shm/rpro-{dead_pid}-g0-0"
+        with open(leftover, "wb") as fh:
+            fh.write(b"\0" * 8)
+        try:
+            arena = SharedArena(tag="t")
+            arena.close()
+            assert not os.path.exists(leftover)
+        finally:
+            with pytest.raises(FileNotFoundError):
+                os.unlink(leftover)
+
+    def test_generation_tags_keep_names_unique(self):
+        a1 = SharedArena(tag="t")
+        a2 = SharedArena(tag="t")
+        try:
+            n1 = a1.handle_of(a1.alloc((2,))).name
+            n2 = a2.handle_of(a2.alloc((2,))).name
+            assert n1 != n2
+        finally:
+            a1.close()
+            a2.close()
+
+
+class TestProcessBackendPrimitives:
+    def test_matmul_contract_scatter_match_numpy(self, backend):
+        ref = NumpyBackend()
+        rng = np.random.default_rng(7)
+        A = rng.normal(size=(33, 21))
+        Bm = rng.normal(size=(21, 29))
+        assert np.abs(backend.matmul(A, Bm) - ref.matmul(A, Bm)).max() <= TOL
+        X = rng.normal(size=(6, 9, 4))
+        Y = rng.normal(size=(9, 4))
+        assert (
+            np.abs(
+                backend.contract("bij,ij->bi", X, Y)
+                - ref.contract("bij,ij->bi", X, Y)
+            ).max()
+            <= TOL
+        )
+        T = sp.random(31, 17, density=0.3, random_state=3, format="csr")
+        flat = rng.normal(size=(8, 17))
+        assert (
+            np.abs(backend.scatter_apply(T, flat) - ref.scatter_apply(T, flat)).max()
+            <= TOL
+        )
+
+    def test_registered_operand_ships_by_handle(self, backend):
+        rng = np.random.default_rng(11)
+        big = rng.normal(size=(6, 9, 4))
+        backend.register_shared(big)
+        saved0 = backend.ipc_bytes_saved
+        Y = rng.normal(size=(9, 4))
+        out = backend.contract("bij,ij->bi", big, Y)
+        assert backend.ipc_bytes_saved > saved0, "published operand was re-pickled"
+        assert np.abs(out - NumpyBackend().contract("bij,ij->bi", big, Y)).max() <= TOL
+        # second registration is a no-op (same segment, one copy)
+        created = backend._arena.created_segments
+        backend.register_shared(big)
+        assert backend._arena.created_segments == created
+
+    def test_alloc_shared_is_worker_visible(self, backend):
+        arr = backend.alloc_shared((5, 4, 4))
+        rng = np.random.default_rng(13)
+        arr[...] = rng.normal(size=arr.shape)
+        saved0 = backend.ipc_bytes_saved
+        # component planes (views) must resolve through the arena
+        out = backend.contract("ij,jk->ik", arr[1], np.eye(4))
+        assert np.abs(out - arr[1]).max() <= TOL
+        assert backend.ipc_bytes_saved > saved0
+
+    def test_alloc_shared_segment_freed_on_gc(self, backend):
+        arr = backend.alloc_shared((256,))
+        name = backend._arena.handle_of(arr).name
+        assert any(name in s for s in _own_segments())
+        del arr
+        gc.collect()
+        assert not any(name in s for s in _own_segments())
+
+    def test_band_factors_stay_worker_resident(self, backend):
+        n = 40
+        rng = np.random.default_rng(17)
+        main = 4.0 + rng.random(n)
+        off = rng.random(n - 1)
+        template = sp.diags(
+            [off, main, off], offsets=(-1, 0, 1), format="csr"
+        )
+        X = 6
+        data = np.stack([template.data * (1.0 + 0.05 * x) for x in range(X)])
+        rhs = rng.normal(size=(X, n))
+
+        ref = CachedBandSolverFactory().factor_batch(
+            template, data, backend=NumpyBackend()
+        )
+        solver = CachedBandSolverFactory().factor_batch(
+            template, data, backend=backend
+        )
+        assert isinstance(solver._factors, _RemoteFactors)
+        out_ref = ref.solve_many(rhs)
+        out = solver.solve_many(rhs)
+        scale = np.abs(out_ref).max()
+        assert np.abs(out - out_ref).max() <= TOL * scale
+        one = solver.solve(X - 1, rhs[X - 1])
+        assert np.abs(one - out_ref[X - 1]).max() <= TOL * scale
+
+    def test_ipc_counters_shape(self, backend):
+        counters = backend.ipc_counters()
+        assert set(counters) == {
+            "ipc_bytes_sent",
+            "ipc_bytes_saved",
+            "shm_fallbacks",
+        }
+
+    def test_budget_fallback_still_correct(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_BUDGET", "64")  # nothing fits
+        before = _own_segments()
+        be = ProcessPoolBackend(num_threads=2)
+        try:
+            rng = np.random.default_rng(19)
+            A = rng.normal(size=(20, 12))
+            Bm = rng.normal(size=(12, 18))
+            out = be.matmul(A, Bm)
+            assert np.abs(out - A @ Bm).max() <= TOL
+            assert be.shm_fallbacks >= 1
+        finally:
+            be.close()
+        assert _own_segments() <= before
+
+
+class TestSerialFallback:
+    def test_workers_one_never_spawns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_WORKERS", "1")
+        be = ProcessPoolBackend()
+        try:
+            assert be.workers == 1
+            rng = np.random.default_rng(23)
+            X = rng.normal(size=(4, 5, 3))
+            Y = rng.normal(size=(5, 3))
+            ref = NumpyBackend()
+            assert np.array_equal(
+                be.contract("bij,ij->bi", X, Y), ref.contract("bij,ij->bi", X, Y)
+            )
+            arr = be.alloc_shared((8,))
+            assert isinstance(arr, np.ndarray)
+            be.register_shared(arr)  # no-op, no arena
+            assert be._pools is None and be._arena is None
+        finally:
+            be.close()
+
+    def test_bad_worker_env_is_actionable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_PROCESS_WORKERS"):
+            ProcessPoolBackend()
+
+    def test_bad_start_method_is_actionable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESS_START", "teleport")
+        be = ProcessPoolBackend(num_threads=2)
+        try:
+            with pytest.raises(ValueError, match="REPRO_PROCESS_START"):
+                be._get_pools()
+        finally:
+            be.close()

@@ -272,7 +272,9 @@ class TestChaos:
         assert snap1["batch_size_hist"] == snap2["batch_size_hist"]
 
     def test_fault_injection_rejects_process_executor(self):
-        with pytest.raises(ValueError):
+        # the message must name the env knob so an operator who exported
+        # REPRO_SERVE_EXECUTOR=process knows exactly what to unset
+        with pytest.raises(ValueError, match="REPRO_SERVE_EXECUTOR"):
             CollisionSolveService(
                 ServeOptions(num_shards=1, executor="process"),
                 fault_injector=FaultInjector(fail_first_solves=1),
