@@ -1,0 +1,373 @@
+"""Chaos & supervision acceptance bench (ISSUE-7).
+
+Four scenarios against the supervised serve tier, all on the same
+per-vertex Landau solve jobs:
+
+1. **reference** — fault-free threaded drain: the golden results and the
+   no-chaos throughput baseline.
+2. **chaos** — ``executor="process"`` under a declarative
+   :class:`~repro.resilience.FaultPlan` that crashes a worker mid-run
+   and hangs another (caught by the batch deadline): every job must
+   complete and every result must be **bitwise identical** to the
+   reference (availability 1.0, recovery time measured).
+3. **restart storm** — a worker that crashes on every incarnation's
+   first batch: the circuit breaker must trip and the run completes on
+   the degraded in-parent tier; measures degraded-mode throughput.
+4. **kill + resume** — a checkpointing service is SIGKILLed mid-drain in
+   a child process; a fresh service restores from the checkpoint and
+   finishes only the unfinished jobs (job-id accounting: no overlap,
+   full union; leaked ``/dev/shm`` segments swept).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py \
+        [--smoke] [--jobs N] [--out BENCH_chaos.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro.amr import landau_mesh
+from repro.core import SpeciesSet, electron
+from repro.core.maxwellian import maxwellian_rz
+from repro.fem import FunctionSpace
+from repro.resilience import FaultPlan, SupervisorOptions
+from repro.serve import (
+    CollisionSolveService,
+    ServeOptions,
+    SolvePlan,
+    checkpoint_path,
+    load_service_checkpoint,
+)
+
+DT = 0.25
+RTOL = 1e-10
+
+
+def _setup(order: int):
+    spc = SpeciesSet([electron()])
+    fs = FunctionSpace(landau_mesh([electron().thermal_velocity]), order=order)
+    return fs, spc
+
+
+def _make_states(fs, n_jobs: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(13)
+    states = []
+    for _ in range(n_jobs):
+        vth = 0.886 * rng.uniform(0.8, 1.1)
+        drift = rng.uniform(-0.12, 0.12)
+        states.append(
+            fs.interpolate(
+                lambda r, z: maxwellian_rz(r, z - drift, 1.0, vth)
+            )[None, :]
+        )
+    return states
+
+
+def _supervision(batch_deadline_s: float = 0.0) -> SupervisorOptions:
+    return SupervisorOptions(
+        batch_deadline_s=batch_deadline_s,
+        breaker_threshold=2,
+        breaker_cooldown=2,
+        breaker_max_cooldown=8,
+        restart_backoff_s=0.01,
+        restart_backoff_max_s=0.1,
+    )
+
+
+def _drain_run(options: ServeOptions, plan, states, fault_plan=None):
+    svc = CollisionSolveService(options, fault_plan=fault_plan)
+    try:
+        t0 = time.perf_counter()
+        results = svc.solve_many(plan, states, timeout=600.0)
+        elapsed = time.perf_counter() - t0
+        snap = svc.snapshot()
+    finally:
+        svc.close()
+    return results, elapsed, snap
+
+
+# ----------------------------------------------------------------------
+# scenario 2: worker-crash and worker-hang chaos, bitwise vs the reference.
+# Fault-plan batch indices count per worker *incarnation* (they reset
+# when a crashed/killed worker is replaced), so each sub-run exercises
+# one failure kind on a clean schedule: ``crash_batches=(1,)`` crashes
+# every incarnation's second batch, ``hang_batches=(1,)`` hangs it.
+def _chaos_run(
+    plan, states, ref_results, max_batch: int, fault_plan, deadline_s: float
+) -> dict:
+    options = ServeOptions(
+        executor="process",
+        num_shards=1,
+        max_batch=max_batch,
+        supervision=_supervision(batch_deadline_s=deadline_s),
+    )
+    results, elapsed, snap = _drain_run(
+        options, plan, states, fault_plan=fault_plan
+    )
+    ok = sum(r.ok for r in results)
+    max_abs_diff = max(
+        float(np.abs(r.state - ref.state).max())
+        for r, ref in zip(results, ref_results)
+    )
+    fails = snap["failures"]
+    return {
+        "fault_plan": json.loads(fault_plan.to_json()),
+        "jobs": len(states),
+        "jobs_ok": ok,
+        "availability": ok / len(states),
+        "elapsed_s": elapsed,
+        "jobs_per_s": len(states) / elapsed,
+        "max_abs_diff_vs_reference": max_abs_diff,
+        "bitwise_equal": max_abs_diff == 0.0,
+        "worker_crashes": fails["worker_crashes"],
+        "worker_hangs": fails["worker_hangs"],
+        "deadline_timeouts": fails["deadline_timeouts"],
+        "worker_restarts": snap["jobs"]["worker_restarts"],
+        "mean_recovery_s": snap["shards"][0]["mean_recovery_s"],
+        "restart_backoff_sleep_s": snap["shards"][0]["restart_backoff_sleep_s"],
+    }
+
+
+def run_chaos(plan, states, ref_results, max_batch: int) -> dict:
+    crash = _chaos_run(
+        plan,
+        states,
+        ref_results,
+        max_batch,
+        FaultPlan(crash_batches=(1,)),
+        deadline_s=0.0,
+    )
+    # the hang sub-run is bounded to two batches: each detection costs a
+    # full batch deadline of wall clock
+    n_hang = min(len(states), 2 * max_batch)
+    hang = _chaos_run(
+        plan,
+        states[:n_hang],
+        ref_results[:n_hang],
+        max_batch,
+        FaultPlan(hang_batches=(1,), hang_s=120.0),
+        deadline_s=15.0,
+    )
+    return {"crash": crash, "hang": hang}
+
+
+# ----------------------------------------------------------------------
+# scenario 3: restart storm -> breaker trip -> degraded throughput
+def run_restart_storm(plan, states, max_batch: int) -> dict:
+    options = ServeOptions(
+        executor="process",
+        num_shards=1,
+        max_batch=max_batch,
+        supervision=_supervision(),
+    )
+    results, elapsed, snap = _drain_run(
+        options, plan, states, fault_plan=FaultPlan(crash_batches=(0,))
+    )
+    ok = sum(r.ok for r in results)
+    shard0 = snap["shards"][0]
+    return {
+        "jobs": len(states),
+        "jobs_ok": ok,
+        "availability": ok / len(states),
+        "elapsed_s": elapsed,
+        "degraded_jobs_per_s": len(states) / elapsed,
+        "breaker_trips": shard0["breaker_trips"],
+        "breaker_state_final": shard0["breaker"]["state"],
+        "degraded_batches": shard0["degraded_batches"],
+        "degraded_jobs": shard0["degraded_jobs"],
+        "worker_crashes": shard0["worker_crashes"],
+        "worker_restarts": snap["jobs"]["worker_restarts"],
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario 4: SIGKILL mid-drain, restore, finish only unfinished jobs
+def _victim(ckpt_dir: str, order: int, n_jobs: int, max_batch: int, kill_after: int):
+    """Child process: drain ``kill_after`` batches with checkpointing on,
+    then die the hard way (no atexit, no cleanup) mid-run."""
+    fs, spc = _setup(order)
+    states = _make_states(fs, n_jobs)
+    plan = SolvePlan(fs=fs, species=spc, dt=DT, rtol=RTOL)
+    svc = CollisionSolveService(
+        ServeOptions(
+            executor="process",
+            num_shards=1,
+            max_batch=max_batch,
+            checkpoint_dir=ckpt_dir,
+            supervision=_supervision(),
+        )
+    )
+    for i, s in enumerate(states):
+        svc.submit(plan, s, job_id=f"job-k{i}")
+    svc.drain(max_batches=kill_after)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def run_kill_resume(
+    fs, spc, states, ckpt_dir: str, order: int, max_batch: int
+) -> dict:
+    n_jobs = len(states)
+    kill_after = max(1, (n_jobs // max_batch) // 2)
+    ctx = mp.get_context("spawn")  # a clean victim, like a fresh driver
+    child = ctx.Process(
+        target=_victim, args=(ckpt_dir, order, n_jobs, max_batch, kill_after)
+    )
+    t0 = time.perf_counter()
+    child.start()
+    child.join(timeout=600.0)
+    assert child.exitcode == -signal.SIGKILL, child.exitcode
+
+    ckpt = load_service_checkpoint(checkpoint_path(ckpt_dir))
+    completed_before = set(ckpt.completed)
+    all_ids = {f"job-k{i}" for i in range(n_jobs)}
+
+    plan = SolvePlan(fs=fs, species=spc, dt=DT, rtol=RTOL)
+    svc = CollisionSolveService(
+        ServeOptions(
+            executor="process",
+            num_shards=1,
+            max_batch=max_batch,
+            checkpoint_dir=ckpt_dir,
+            supervision=_supervision(),
+        )
+    )
+    try:
+        handles = svc.restore()
+        svc.drain()
+        resumed = [h.result(600.0) for h in handles]
+        resume_info = svc.snapshot()["checkpoint"]["resume"]
+    finally:
+        svc.close()
+    elapsed = time.perf_counter() - t0
+    rerun_ids = {r.job_id for r in resumed}
+    return {
+        "jobs": n_jobs,
+        "killed_after_batches": kill_after,
+        "completed_before_kill": len(completed_before),
+        "resumed_jobs": len(rerun_ids),
+        "resumed_ok": sum(r.ok for r in resumed),
+        "rerun_overlap": len(rerun_ids & completed_before),
+        "union_covers_all_jobs": (rerun_ids | completed_before) == all_ids,
+        "swept_shm_segments": resume_info["swept_shm_segments"],
+        "recovery_wall_s": elapsed,
+    }
+
+
+# ----------------------------------------------------------------------
+def run_bench(smoke: bool, n_jobs: int | None, ckpt_dir: str) -> dict:
+    order = 2 if smoke else 3
+    if n_jobs is None:
+        n_jobs = 16 if smoke else 48
+    max_batch = 4 if smoke else 8
+    fs, spc = _setup(order)
+    states = _make_states(fs, n_jobs)
+    plan = SolvePlan(fs=fs, species=spc, dt=DT, rtol=RTOL)
+
+    ref_results, ref_s, _ = _drain_run(
+        ServeOptions(executor="thread", num_shards=1, max_batch=max_batch),
+        plan,
+        states,
+    )
+    assert all(r.ok for r in ref_results)
+
+    return {
+        "jobs": n_jobs,
+        "max_batch": max_batch,
+        "mesh": {"ndofs": int(fs.ndofs), "order": order},
+        "dt": DT,
+        "rtol": RTOL,
+        "reference": {
+            "elapsed_s": ref_s,
+            "jobs_per_s": n_jobs / ref_s,
+        },
+        "chaos": run_chaos(plan, states, ref_results, max_batch),
+        "restart_storm": run_restart_storm(plan, states, max_batch),
+        "kill_resume": run_kill_resume(
+            fs, spc, states, ckpt_dir, order, max_batch
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: few jobs, coarse mesh",
+    )
+    ap.add_argument("--jobs", type=int, default=None)
+    ap.add_argument("--out", default="BENCH_chaos.json")
+    args = ap.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-ckpt-") as d:
+        result = run_bench(smoke=args.smoke, n_jobs=args.jobs, ckpt_dir=d)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+
+    st, kr = result["restart_storm"], result["kill_resume"]
+    for kind in ("crash", "hang"):
+        ch = result["chaos"][kind]
+        print(
+            f"chaos/{kind}: availability {ch['availability']:.3f}  "
+            f"bitwise_equal={ch['bitwise_equal']}  "
+            f"crashes={ch['worker_crashes']} hangs={ch['worker_hangs']}  "
+            f"mean recovery {ch['mean_recovery_s'] * 1e3:.1f} ms"
+        )
+    print(
+        f"storm:    availability {st['availability']:.3f}  "
+        f"breaker trips={st['breaker_trips']}  "
+        f"degraded {st['degraded_jobs_per_s']:.1f} jobs/s "
+        f"(reference {result['reference']['jobs_per_s']:.1f})"
+    )
+    print(
+        f"resume:   {kr['completed_before_kill']} done pre-kill, "
+        f"{kr['resumed_jobs']} resumed, overlap={kr['rerun_overlap']}, "
+        f"union_ok={kr['union_covers_all_jobs']}, "
+        f"swept {kr['swept_shm_segments']} shm segments"
+    )
+
+    failures = []
+    for kind in ("crash", "hang"):
+        ch = result["chaos"][kind]
+        if ch["availability"] != 1.0:
+            failures.append(f"{kind} chaos run dropped jobs")
+        if not ch["bitwise_equal"]:
+            failures.append(
+                f"{kind} chaos results diverge (max abs diff "
+                f"{ch['max_abs_diff_vs_reference']:.3e})"
+            )
+    ch = result["chaos"]["crash"]
+    if ch["worker_crashes"] < 1:
+        failures.append("crash chaos run never crashed a worker")
+    if result["chaos"]["hang"]["worker_hangs"] < 1:
+        failures.append("hang chaos run never hung a worker")
+    if st["availability"] != 1.0:
+        failures.append("restart storm dropped jobs")
+    if st["breaker_trips"] < 1:
+        failures.append("restart storm never tripped the breaker")
+    if kr["rerun_overlap"] != 0:
+        failures.append("resume re-ran already-completed jobs")
+    if not kr["union_covers_all_jobs"]:
+        failures.append("resume lost jobs")
+    if kr["resumed_ok"] != kr["resumed_jobs"]:
+        failures.append("resumed jobs failed")
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -325,6 +325,8 @@ class ProcessPoolBackend(NumpyBackend):
         self.ipc_bytes_sent = 0
         self.ipc_bytes_saved = 0
         self.shm_fallbacks = 0
+        self.pool_restarts = 0
+        self._restart_backoff = None  # built lazily (import cycle)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -350,7 +352,46 @@ class ProcessPoolBackend(NumpyBackend):
                 for _ in range(self.workers)
             ]
             self._pools_pid = os.getpid()
+        else:
+            self._heal_broken_pools()
         return self._pools
+
+    def _heal_broken_pools(self) -> None:
+        """Replace any worker pool whose process died (OOM-kill, crash).
+
+        The in-flight dispatch that hit the dead pool still raises
+        ``BrokenProcessPool`` to its caller — the serve tier's supervisor
+        owns the batch-level retry — but the *next* dispatch gets a live
+        pool instead of an unconditionally broken backend.  Restarts are
+        paced by a bounded exponential backoff so a crash-looping worker
+        cannot hot-spin fork/exec.
+        """
+        if self._pools is None:
+            return
+        # lazy import: repro.resilience pulls in the solver stack, which
+        # imports this backend package at module scope
+        from ..resilience.supervisor import RestartBackoff
+
+        with self._lock:
+            if self._restart_backoff is None:
+                self._restart_backoff = RestartBackoff(
+                    base_s=0.05, max_s=2.0
+                )
+            ctx = None
+            for slot, pool in enumerate(self._pools):
+                if not getattr(pool, "_broken", False):
+                    continue
+                with suppress(Exception):
+                    pool.shutdown(wait=False, cancel_futures=True)
+                if ctx is None:
+                    ctx = mp.get_context(_start_method())
+                self._restart_backoff.sleep()
+                self._pools[slot] = ProcessPoolExecutor(
+                    max_workers=1, mp_context=ctx
+                )
+                self.pool_restarts += 1
+            if ctx is None:
+                self._restart_backoff.reset()
 
     def close(self) -> None:
         """Shut down worker pools and unlink every owned segment."""
@@ -376,6 +417,7 @@ class ProcessPoolBackend(NumpyBackend):
             "ipc_bytes_sent": int(self.ipc_bytes_sent),
             "ipc_bytes_saved": int(self.ipc_bytes_saved),
             "shm_fallbacks": int(self.shm_fallbacks),
+            "pool_restarts": int(self.pool_restarts),
         }
 
     # ------------------------------------------------------------------

@@ -14,11 +14,13 @@ Lifecycle rules, enforced here so every caller inherits them:
 * segment names are **generation-tagged** (``rpro-<pid>-g<gen>-<seq>``):
   a restarted arena, or a second arena in the same process, can never
   collide with (or accidentally adopt) a stale segment.
-* the owner unlinks on :meth:`free` / :meth:`close` and, as a backstop,
-  at interpreter exit via ``atexit``.  Both are idempotent, and both are
-  **fork-safe**: a forked child that inherits the arena object is not the
-  owner pid and silently refuses to unlink.  Owners killed by an
-  unhandled signal never reach the backstop, so every new arena sweeps
+* the owner unlinks on :meth:`free` / :meth:`close` and, as backstops,
+  at interpreter exit via ``atexit`` and on SIGTERM via a chaining
+  signal handler (the prior handler still runs; with none installed the
+  process re-delivers the signal so its exit status stays ``-SIGTERM``).
+  All are idempotent, and all are **fork-safe**: a forked child that
+  inherits the arena object is not the owner pid and silently refuses to
+  unlink.  Owners killed by SIGKILL never reach any backstop, so every new arena sweeps
   ``/dev/shm`` for segments whose owner pid is dead and reclaims them
   (:func:`reclaim_dead_owner_segments`).
 * attachers never register with the ``resource_tracker``: on Python
@@ -37,6 +39,7 @@ import glob
 import itertools
 import os
 import re
+import signal
 import threading
 import weakref
 from collections import OrderedDict
@@ -152,6 +155,55 @@ def reclaim_dead_owner_segments() -> int:
     return reclaimed
 
 
+#: arenas owned by this process, cleaned up by the SIGTERM backstop
+_LIVE_ARENAS: "weakref.WeakSet[SharedArena]" = weakref.WeakSet()
+_SIGTERM_LOCK = threading.Lock()
+_SIGTERM_INSTALLED = False
+_PREV_SIGTERM = None
+
+
+def _sigterm_cleanup(signum, frame) -> None:
+    """Unlink every live arena's segments, then chain to the previous
+    handler (or re-deliver with the default disposition, so the process
+    still dies with the SIGTERM exit status its supervisor expects)."""
+    for arena in list(_LIVE_ARENAS):
+        with suppress(Exception):
+            arena.close()
+    prev = _PREV_SIGTERM
+    if callable(prev):
+        prev(signum, frame)
+    elif prev != signal.SIG_IGN:
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+
+
+def _install_sigterm_backstop() -> None:
+    """Install the chaining SIGTERM handler once per process.
+
+    The ``atexit`` backstop never runs on an unhandled SIGTERM (the
+    interpreter dies in the C handler), which is exactly how service
+    managers and ``timeout(1)`` stop a process — so a clean SIGTERM used
+    to orphan every live segment until some later arena swept them.
+    Signal handlers can only be set from the main thread; elsewhere the
+    dead-owner sweep remains the (eventual) safety net.
+    """
+    global _SIGTERM_INSTALLED, _PREV_SIGTERM
+    with _SIGTERM_LOCK:
+        if _SIGTERM_INSTALLED:
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return
+        try:
+            prev = signal.getsignal(signal.SIGTERM)
+            signal.signal(signal.SIGTERM, _sigterm_cleanup)
+        except (ValueError, OSError):  # pragma: no cover - exotic embeddings
+            return
+        # never chain to ourselves (a second install attempt after e.g.
+        # someone saved+restored handlers around us)
+        _PREV_SIGTERM = None if prev is _sigterm_cleanup else prev
+        _SIGTERM_INSTALLED = True
+
+
 def _shm_budget_from_env() -> int:
     raw = os.environ.get("REPRO_SHM_BUDGET")
     if raw is None or not raw.strip():
@@ -188,6 +240,8 @@ class SharedArena:
         self.freed_segments = 0
         self._closed = False
         atexit.register(self.close)
+        _LIVE_ARENAS.add(self)
+        _install_sigterm_backstop()
         reclaim_dead_owner_segments()
 
     # ------------------------------------------------------------------

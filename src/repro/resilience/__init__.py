@@ -16,20 +16,38 @@ from .exceptions import (
     RECOVERABLE_ERRORS,
     ResilienceError,
     ServiceOverloaded,
+    ShmAttachFault,
     SolveFailure,
     StepRejected,
+    WorkerHang,
 )
 from .guards import GuardConfig, GuardReference, StepGuard
 from .controller import TimeStepController
 from .fallback import DEFAULT_BACKENDS, FallbackSolverChain
-from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    read_checksummed,
+    save_checkpoint,
+    write_checksummed,
+)
 from .faults import FaultInjector
+from .faultplan import FaultPlan, FaultPlanState
+from .supervisor import (
+    CircuitBreaker,
+    RestartBackoff,
+    ShardSupervisor,
+    SupervisorOptions,
+    WorkerWatchdog,
+)
 
 __all__ = [
     "ResilienceError",
     "StepRejected",
     "SolveFailure",
     "InjectedFault",
+    "ShmAttachFault",
+    "WorkerHang",
     "ServiceOverloaded",
     "CheckpointError",
     "RECOVERABLE_ERRORS",
@@ -42,5 +60,14 @@ __all__ = [
     "Checkpoint",
     "save_checkpoint",
     "load_checkpoint",
+    "write_checksummed",
+    "read_checksummed",
     "FaultInjector",
+    "FaultPlan",
+    "FaultPlanState",
+    "SupervisorOptions",
+    "CircuitBreaker",
+    "RestartBackoff",
+    "ShardSupervisor",
+    "WorkerWatchdog",
 ]

@@ -18,12 +18,24 @@ Format (version 1)::
     extra_json    str                  JSON dict of driver state
     hist_t/n_e/J/E/T_e  float64 arrays QuenchHistory columns (optional)
     hist_phase    unicode array        QuenchHistory phase labels
+
+On disk the archive is wrapped in a checksummed envelope
+(:func:`write_checksummed` — a magic line carrying the SHA-256 of the
+payload, then the payload bytes), written atomically (tmp + fsync +
+rename), so a truncated or bit-flipped file is *detected* at load time
+instead of resuming a run from silently corrupted state.  Files written
+before the envelope existed (bare ``.npz``) still load.  The serve
+tier's crash-consistent service checkpoints
+(:mod:`repro.serve.checkpoint`) share the same envelope.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import os
+from contextlib import suppress
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,6 +45,65 @@ from .exceptions import CheckpointError
 CHECKPOINT_VERSION = 1
 
 _HIST_COLS = ("t", "n_e", "J", "E", "T_e")
+
+#: envelope header: magic + sha256 hex digest of the payload + newline
+CHECKSUM_MAGIC = b"RPROCKSUM1 "
+
+
+def write_checksummed(path: str, payload: bytes) -> str:
+    """Atomically write ``payload`` with a SHA-256 integrity header.
+
+    tmp + flush + fsync + rename (+ a best-effort directory fsync), so a
+    crash mid-write leaves either the previous file or the new one —
+    never a torn mix — and any later corruption is caught by
+    :func:`read_checksummed`.  Returns ``path``.
+    """
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(CHECKSUM_MAGIC + digest + b"\n" + payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    with suppress(OSError):  # rename durability; not available everywhere
+        dirfd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+    return path
+
+
+def read_checksummed(path: str) -> bytes:
+    """Read a :func:`write_checksummed` file, verifying the digest.
+
+    Raises :class:`CheckpointError` on a truncated or bit-flipped file.
+    Files without the magic header (pre-envelope checkpoints) are
+    returned verbatim for backward compatibility.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if not raw.startswith(CHECKSUM_MAGIC):
+        return raw
+    header, sep, payload = raw.partition(b"\n")
+    stored = header[len(CHECKSUM_MAGIC):]
+    if not sep:
+        raise CheckpointError(
+            "checkpoint truncated inside the checksum header",
+            diagnostics={"path": path, "bytes": len(raw)},
+        )
+    actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if actual != stored:
+        raise CheckpointError(
+            "checkpoint checksum mismatch (truncated or corrupted file)",
+            diagnostics={
+                "path": path,
+                "stored_sha256": stored.decode("ascii", "replace")[:64],
+                "actual_sha256": actual.decode("ascii"),
+                "payload_bytes": len(payload),
+            },
+        )
+    return payload
 
 
 @dataclass
@@ -76,19 +147,18 @@ def save_checkpoint(
         for col in _HIST_COLS:
             arrays[f"hist_{col}"] = np.asarray(getattr(history, col), dtype=float)
         arrays["hist_phase"] = np.asarray(history.phase, dtype="U16")
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
-    os.replace(tmp, path)
-    return path
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    return write_checksummed(path, buf.getvalue())
 
 
 def load_checkpoint(path: str) -> Checkpoint:
     """Read a checkpoint written by :func:`save_checkpoint`."""
     if not os.path.exists(path):
         raise CheckpointError("checkpoint file not found", diagnostics={"path": path})
+    payload = read_checksummed(path)
     try:
-        with np.load(path, allow_pickle=False) as data:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as data:
             version = int(data["__version__"])
             if version != CHECKPOINT_VERSION:
                 raise CheckpointError(

@@ -47,6 +47,21 @@ class InjectedFault(SolveFailure):
     so every production recovery path treats it as the real thing."""
 
 
+class ShmAttachFault(InjectedFault):
+    """An injected shared-memory attach failure (:mod:`.faultplan`):
+    the worker pretends the per-batch state segment is corrupted or
+    already unlinked.  The service retries the batch with an inline
+    (pickled) payload, exactly as it would for a real attach error."""
+
+
+class WorkerHang(ResilienceError):
+    """A shard worker process missed its per-batch deadline or a
+    heartbeat probe (:mod:`.supervisor`).  The supervisor kills the
+    process — a hung worker, unlike a crashed one, never raises
+    ``BrokenProcessPool`` on its own — and the batch is retried or
+    completed in degraded mode."""
+
+
 class ServiceOverloaded(ResilienceError):
     """Admission control rejected a solve job: the target shard's bounded
     queue is full.  The caller should back off and resubmit — accepting

@@ -1,0 +1,221 @@
+"""Declarative, picklable cross-process fault plans.
+
+:class:`~repro.resilience.faults.FaultInjector` lives in one process: it
+wraps solver factories with closures and advances seeded counters in
+place, so it cannot follow jobs into serve shard *worker processes*.
+:class:`FaultPlan` is the cross-process half of the chaos story: a frozen
+dataclass of primitives — trivially picklable — that each worker installs
+at startup and interprets locally with deterministic counters.
+
+Four fault families:
+
+* **solver faults** — the :class:`FaultInjector` schedule fields
+  (``fail_first_solves`` / ``factorization_failures`` /
+  ``nan_solve_indices`` / ``nan_probability`` + ``seed``).  Each worker
+  builds its *own* injector from them (:meth:`FaultPlan.injector`), so
+  the per-worker fault sequence is deterministic for a fixed batch
+  order, independent of which process runs it.
+* **worker crashes** — ``crash_batches=(i, ...)``: the worker calls
+  ``os._exit`` at the start of its ``i``-th dispatched batch, exactly
+  like an OOM-kill or a segfault; the parent sees ``BrokenProcessPool``.
+* **worker hangs** — ``hang_batches=(i, ...)``: the worker sleeps
+  ``hang_s`` at the start of its ``i``-th batch.  Unlike a crash this
+  raises nothing — only a batch deadline or heartbeat watchdog
+  (:mod:`.supervisor`) can detect it.
+* **shm attach failures** — ``shm_attach_failures=(i, ...)``: the
+  worker raises :class:`~repro.resilience.exceptions.ShmAttachFault`
+  instead of attaching the ``i``-th shared-memory state payload, like a
+  segment corrupted or unlinked under it; the service falls back to an
+  inline (pickled) payload for that batch.
+
+Batch indices count each worker process's *own* dispatches and reset
+when the process is replaced after a crash — ``crash_batches=(0,)``
+therefore crashes the shard on *every* batch (the restart-storm
+scenario), while ``crash_batches=(1,)`` crashes each incarnation's
+second batch.  ``shards`` limits the plan to specific shard ids
+(``None`` = all shards).
+
+With ``executor="thread"`` only the solver-fault schedule applies:
+crashing or hanging a shard *thread* would take the whole service down,
+which is not a recoverable fault but an outage.  The process executor
+runs the full plan.
+
+``REPRO_FAULT_PLAN`` carries a plan through the environment — inline
+JSON, or ``@/path/to/plan.json`` — so chaos runs need no code changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field, fields
+
+from .exceptions import ShmAttachFault
+from .faults import FaultInjector
+
+__all__ = ["FaultPlan", "FaultPlanState"]
+
+
+def _as_int_tuple(value) -> tuple:
+    if value is None:
+        return ()
+    if isinstance(value, (int, float)):
+        value = (value,)
+    return tuple(int(v) for v in value)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One declarative chaos schedule (see module docstring)."""
+
+    # solver faults (FaultInjector schedule, rebuilt per worker)
+    fail_first_solves: int = 0
+    factorization_failures: tuple = ()
+    nan_solve_indices: tuple = ()
+    nan_probability: float = 0.0
+    seed: int = 0
+    # process-tier faults (batch indices per worker incarnation)
+    crash_batches: tuple = ()
+    hang_batches: tuple = ()
+    hang_s: float = 30.0
+    shm_attach_failures: tuple = ()
+    #: shard ids the plan applies to; None = every shard
+    shards: tuple | None = None
+
+    def __post_init__(self):
+        for name in (
+            "factorization_failures",
+            "nan_solve_indices",
+            "crash_batches",
+            "hang_batches",
+            "shm_attach_failures",
+        ):
+            object.__setattr__(self, name, _as_int_tuple(getattr(self, name)))
+        if self.shards is not None:
+            object.__setattr__(self, "shards", _as_int_tuple(self.shards))
+        if not (0.0 <= self.nan_probability <= 1.0):
+            raise ValueError(
+                f"nan_probability must be in [0, 1], got {self.nan_probability}"
+            )
+        if self.hang_s <= 0:
+            raise ValueError(f"hang_s must be positive, got {self.hang_s}")
+
+    # ------------------------------------------------------------------
+    def applies_to(self, shard_id: int) -> bool:
+        return self.shards is None or shard_id in self.shards
+
+    @property
+    def has_solver_faults(self) -> bool:
+        return bool(
+            self.fail_first_solves
+            or self.factorization_failures
+            or self.nan_solve_indices
+            or self.nan_probability > 0.0
+        )
+
+    @property
+    def has_process_faults(self) -> bool:
+        return bool(
+            self.crash_batches or self.hang_batches or self.shm_attach_failures
+        )
+
+    def injector(self, shard_id: int | None = None) -> FaultInjector | None:
+        """A fresh seeded :class:`FaultInjector` for this plan's solver
+        faults (``None`` when the plan has none, or skips the shard)."""
+        if not self.has_solver_faults:
+            return None
+        if shard_id is not None and not self.applies_to(shard_id):
+            return None
+        return FaultInjector(
+            fail_first_solves=self.fail_first_solves,
+            factorization_failures=self.factorization_failures,
+            nan_solve_indices=self.nan_solve_indices,
+            nan_probability=self.nan_probability,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        data = asdict(self)
+        for k, v in data.items():
+            if isinstance(v, tuple):
+                data[k] = list(v)
+        return json.dumps(data, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"fault plan JSON must be an object, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan fields {unknown}; known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_env(cls, env_var: str = "REPRO_FAULT_PLAN") -> "FaultPlan | None":
+        """Parse ``REPRO_FAULT_PLAN`` (inline JSON or ``@path``/path)."""
+        raw = os.environ.get(env_var)
+        if raw is None or not raw.strip():
+            return None
+        raw = raw.strip()
+        if raw.startswith("@"):
+            path = raw[1:]
+        elif not raw.startswith("{") and os.path.exists(raw):
+            path = raw
+        else:
+            path = None
+        if path is not None:
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = fh.read()
+        try:
+            return cls.from_json(raw)
+        except (ValueError, TypeError) as err:
+            raise ValueError(f"invalid {env_var}: {err}") from err
+
+
+@dataclass
+class FaultPlanState:
+    """Per-worker interpreter of a :class:`FaultPlan`.
+
+    One instance lives in each shard worker process (module global,
+    installed by the worker initializer); counters are local to the
+    process, so they reset — deterministically — when a crashed worker
+    is replaced.
+    """
+
+    plan: FaultPlan
+    shard_id: int
+    dispatches: int = field(default=0, init=False)
+    hangs: int = field(default=0, init=False)
+    shm_faults: int = field(default=0, init=False)
+
+    def on_dispatch(self, payload_kind: str) -> None:
+        """Run the process-tier schedule for one dispatched batch.
+
+        Called at the top of the worker's batch entry point, *before*
+        the state payload is attached.  May never return (crash), may
+        stall (hang), may raise :class:`ShmAttachFault`.
+        """
+        if not self.plan.applies_to(self.shard_id):
+            return
+        index = self.dispatches
+        self.dispatches += 1
+        if index in self.plan.crash_batches:
+            # flush nothing, run no handlers: a real SIGKILL/OOM doesn't
+            os._exit(17)
+        if index in self.plan.hang_batches:
+            self.hangs += 1
+            time.sleep(self.plan.hang_s)
+        if payload_kind == "shm" and index in self.plan.shm_attach_failures:
+            self.shm_faults += 1
+            raise ShmAttachFault(
+                "injected shared-memory attach failure",
+                diagnostics={"shard": self.shard_id, "dispatch": index},
+            )

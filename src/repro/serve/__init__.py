@@ -20,6 +20,13 @@ Quick start::
         # or: svc.start(); handles = [svc.submit(plan, s) for s in states]
 """
 
+from .checkpoint import (
+    PendingJob,
+    ServiceCheckpoint,
+    checkpoint_path,
+    load_service_checkpoint,
+    save_service_checkpoint,
+)
 from .jobs import (
     STATUS_FAILED,
     STATUS_OK,
@@ -34,6 +41,11 @@ from .service import CollisionSolveService, HashRing, ServeOptions
 from .shard import ShardWorker, execute_jobs
 
 __all__ = [
+    "PendingJob",
+    "ServiceCheckpoint",
+    "checkpoint_path",
+    "load_service_checkpoint",
+    "save_service_checkpoint",
     "SolvePlan",
     "PlanRuntime",
     "PlanCache",

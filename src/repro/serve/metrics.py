@@ -70,6 +70,22 @@ class ShardMetrics:
     #: (thread-mode shards never restart; the service adds its parent-side
     #: count for process-mode shards, whose in-worker counters reset)
     worker_restarts: int = 0
+    # ---- failure taxonomy (ISSUE-7) -------------------------------------
+    #: solver faults fired by the (plan-driven or ad-hoc) injector
+    injected_faults: int = 0
+    #: worker process deaths observed as BrokenProcessPool
+    worker_crashes: int = 0
+    #: hung workers killed by the supervisor (deadline or heartbeat)
+    worker_hangs: int = 0
+    #: per-batch deadlines that expired on the process tier
+    deadline_timeouts: int = 0
+    #: circuit-breaker closed->open transitions for this shard
+    breaker_trips: int = 0
+    #: batches served by the degraded in-parent tier while the breaker
+    #: was open (or after repeated worker deaths on one batch)
+    degraded_batches: int = 0
+    #: shared-memory attach failures retried with inline payloads
+    shm_attach_faults: int = 0
     latency: LatencyRing = field(default_factory=LatencyRing)
 
     def record_batch(self, size: int) -> None:
@@ -98,6 +114,13 @@ class ShardMetrics:
             },
             "max_queue_depth": self.max_queue_depth,
             "worker_restarts": self.worker_restarts,
+            "injected_faults": self.injected_faults,
+            "worker_crashes": self.worker_crashes,
+            "worker_hangs": self.worker_hangs,
+            "deadline_timeouts": self.deadline_timeouts,
+            "breaker_trips": self.breaker_trips,
+            "degraded_batches": self.degraded_batches,
+            "shm_attach_faults": self.shm_attach_faults,
             "latency": self.latency.percentiles() | {"samples": len(self.latency)},
         }
 

@@ -131,10 +131,17 @@ class PlanRuntime:
     and the shared band-symbolic factory) plus a lazily built retry
     integrator for jobs that fall out of a batch."""
 
-    def __init__(self, plan: SolvePlan):
+    def __init__(self, plan: SolvePlan, clamp_process: bool | None = None):
+        # clamp_process=True forces backend "process" -> "threaded" even
+        # outside a shard worker: the service's *degraded* tier runs
+        # batches in the parent while the process tier is suspect, and
+        # must not spin up the very pools it is standing in for.
+        # None defers to the worker-global flag (the PR-6 behavior).
+        if clamp_process is None:
+            clamp_process = IN_PROCESS_WORKER
         self.plan = plan
         options = plan.options
-        if IN_PROCESS_WORKER:
+        if clamp_process or IN_PROCESS_WORKER:
             # options=None would re-read REPRO_BACKEND from the env in
             # the operator, so resolve here before clamping
             if options is None:
@@ -187,12 +194,13 @@ class PlanCache:
     it by consistent hashing.  Counters feed the serve metrics.
     """
 
-    def __init__(self, budget: int | None = None):
+    def __init__(self, budget: int | None = None, clamp_process: bool = False):
         if budget is None:
             budget = AssemblyOptions.from_env().memory_budget
         if budget <= 0:
             raise ValueError(f"budget must be positive, got {budget}")
         self.budget = int(budget)
+        self.clamp_process = bool(clamp_process)
         self._entries: OrderedDict[str, PlanRuntime] = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -215,7 +223,7 @@ class PlanCache:
             self._entries.move_to_end(plan.key)
             return rt
         self.misses += 1
-        rt = PlanRuntime(plan)
+        rt = PlanRuntime(plan, clamp_process=self.clamp_process or None)
         self._entries[plan.key] = rt
         # evict least-recently-used plans until back under budget — but
         # never the runtime just built (a single over-budget plan must

@@ -30,6 +30,7 @@ lost its plans (fresh or restarted process) raises
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -153,10 +154,16 @@ class ShardWorker:
         shard_id: int,
         plan_budget: int | None = None,
         fault_injector=None,
+        degraded: bool = False,
     ):
         self.shard_id = shard_id
         self.metrics = ShardMetrics(shard=shard_id)
-        self.plans = PlanCache(budget=plan_budget)
+        # a degraded worker is the in-parent fallback tier standing in
+        # for a broken process pool: clamp backend "process" so it never
+        # builds the pools it is replacing
+        self.degraded = bool(degraded)
+        self.plans = PlanCache(budget=plan_budget, clamp_process=degraded)
+        self._injector = fault_injector
         self._fault_shim = None
         if fault_injector is not None:
             # adapt FaultInjector's factory(A)->solve(b) wrapping to a
@@ -208,6 +215,8 @@ class ShardWorker:
                     self.metrics.jobs_retried += 1
                 self.metrics.latency.add(res.latency_s)
                 results.append((job, res))
+        if self._injector is not None:
+            self.metrics.injected_faults = self._injector.n_injected
         return results
 
     # ------------------------------------------------------------------
@@ -266,6 +275,10 @@ _PROCESS_WORKER: ShardWorker | None = None
 #: plans published into this worker process, keyed by SolvePlan.key
 _PLAN_STORE: dict[str, "SolvePlan"] = {}
 
+#: the installed FaultPlanState (chaos runs only); counters reset with
+#: the process, so a replaced worker replays its schedule from index 0
+_FAULT_STATE = None
+
 
 class PlanNotPublished(RuntimeError):
     """This worker has no published plan for the requested key (it is
@@ -273,15 +286,42 @@ class PlanNotPublished(RuntimeError):
     plan and retries the batch."""
 
 
-def _process_init(shard_id: int, plan_budget: int | None) -> None:
-    global _PROCESS_WORKER
+def _process_init(
+    shard_id: int, plan_budget: int | None, fault_payload=None
+) -> None:
+    """Worker initializer: warm shard state + optional chaos install.
+
+    ``fault_payload`` is either a picklable
+    :class:`~repro.resilience.faultplan.FaultPlan` (full schedule:
+    solver faults interpreted by a worker-local injector, crash/hang/
+    shm-attach faults interpreted per dispatch) or a picklable ad-hoc
+    :class:`~repro.resilience.faults.FaultInjector` (solver faults
+    only).  Each worker owns its own copy — deterministic for a fixed
+    batch order, exactly like PR 1's in-process chaos tests.
+    """
+    global _PROCESS_WORKER, _FAULT_STATE
     from . import plan as plan_mod
+    from ..resilience.faultplan import FaultPlan, FaultPlanState
 
     # runtimes built in this worker clamp backend "process" -> "threaded"
     # (nested process pools deadlock worker shutdown; see plan.py)
     plan_mod.IN_PROCESS_WORKER = True
-    _PROCESS_WORKER = ShardWorker(shard_id, plan_budget=plan_budget)
+    injector = None
+    _FAULT_STATE = None
+    if isinstance(fault_payload, FaultPlan):
+        _FAULT_STATE = FaultPlanState(fault_payload, shard_id)
+        injector = fault_payload.injector(shard_id)
+    elif fault_payload is not None:
+        injector = fault_payload
+    _PROCESS_WORKER = ShardWorker(
+        shard_id, plan_budget=plan_budget, fault_injector=injector
+    )
     _PLAN_STORE.clear()
+
+
+def _process_heartbeat() -> int:
+    """Liveness probe for the watchdog; a hung worker never answers."""
+    return os.getpid()
 
 
 def _process_publish_plan(plan) -> str:
@@ -305,6 +345,11 @@ def _process_execute(
     if plan is None:
         raise PlanNotPublished(plan_key)
     kind, data = payload
+    if _FAULT_STATE is not None:
+        # chaos schedule runs before the payload is touched: a crash or
+        # hang here models a worker dying/stalling with the batch state
+        # still owned by the service (which must retry or degrade)
+        _FAULT_STATE.on_dispatch(kind)
     if kind == "shm":
         from ..backend.shm import attach_copy
 

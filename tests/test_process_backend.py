@@ -242,6 +242,7 @@ class TestProcessBackendPrimitives:
             "ipc_bytes_sent",
             "ipc_bytes_saved",
             "shm_fallbacks",
+            "pool_restarts",
         }
 
     def test_budget_fallback_still_correct(self, monkeypatch):

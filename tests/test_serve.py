@@ -271,11 +271,17 @@ class TestChaos:
             np.testing.assert_array_equal(a.state, b.state)
         assert snap1["batch_size_hist"] == snap2["batch_size_hist"]
 
-    def test_fault_injection_rejects_process_executor(self):
-        # the message must name the env knob so an operator who exported
-        # REPRO_SERVE_EXECUTOR=process knows exactly what to unset
-        with pytest.raises(ValueError, match="REPRO_SERVE_EXECUTOR"):
+    def test_fault_injection_rejects_unpicklable_on_process_executor(self):
+        # picklable injectors now ship to shard workers (ISSUE-7 lifted
+        # the PR-6 blanket ban); only injector state that cannot cross
+        # the fork is rejected — and the message must name both the
+        # FaultPlan route and the env knob an operator would unset
+        inj = FaultInjector(fail_first_solves=1)
+        inj.callback = lambda: None
+        with pytest.raises(
+            ValueError, match="(?s)FaultPlan.*REPRO_SERVE_EXECUTOR"
+        ):
             CollisionSolveService(
                 ServeOptions(num_shards=1, executor="process"),
-                fault_injector=FaultInjector(fail_first_solves=1),
+                fault_injector=inj,
             )

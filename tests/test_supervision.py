@@ -1,0 +1,552 @@
+"""Supervision subsystem (ISSUE-7): cross-process fault plans, the
+watchdog/circuit-breaker/degraded tier, checksummed checkpoints, the
+SIGTERM arena backstop, and crash-consistent service resume."""
+
+from __future__ import annotations
+
+import glob
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+from contextlib import suppress
+
+import numpy as np
+import pytest
+
+from repro.core.maxwellian import maxwellian_rz
+from repro.resilience import (
+    CheckpointError,
+    CircuitBreaker,
+    FaultPlan,
+    FaultPlanState,
+    RestartBackoff,
+    ShardSupervisor,
+    SupervisorOptions,
+    load_checkpoint,
+    read_checksummed,
+    save_checkpoint,
+    write_checksummed,
+)
+from repro.serve import (
+    CollisionSolveService,
+    PendingJob,
+    ServeOptions,
+    SolvePlan,
+    load_service_checkpoint,
+    save_service_checkpoint,
+)
+from repro.serve.jobs import STATUS_OK
+
+DT = 0.3
+
+
+@pytest.fixture
+def plan(fs_q2, electron_species):
+    return SolvePlan(fs=fs_q2, species=electron_species, dt=DT)
+
+
+@pytest.fixture(scope="module")
+def states(request):
+    fs = request.getfixturevalue("fs_q2")
+    rng = np.random.default_rng(77)
+    out = []
+    for _ in range(12):
+        vth = 0.886 * rng.uniform(0.8, 1.1)
+        drift = rng.uniform(-0.1, 0.1)
+        out.append(
+            fs.interpolate(
+                lambda r, z, v=vth, d=drift: maxwellian_rz(r, z - d, 1.0, v)
+            )[None, :]
+        )
+    return out
+
+
+def _fast_supervision(**kw) -> SupervisorOptions:
+    """Tight budgets so chaos tests never sit in real backoff sleeps."""
+    base = dict(
+        batch_deadline_s=0.0,
+        breaker_threshold=3,
+        breaker_cooldown=2,
+        breaker_max_cooldown=8,
+        restart_backoff_s=0.001,
+        restart_backoff_max_s=0.01,
+    )
+    base.update(kw)
+    return SupervisorOptions(**base)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        p = FaultPlan(
+            fail_first_solves=2,
+            crash_batches=(1, 3),
+            hang_batches=(2,),
+            hang_s=5.0,
+            shm_attach_failures=(0,),
+            shards=(1,),
+            seed=9,
+        )
+        q = FaultPlan.from_json(p.to_json())
+        assert q == p
+        assert pickle.loads(pickle.dumps(p)) == p
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan fields"):
+            FaultPlan.from_json('{"explode_batches": [1]}')
+
+    def test_from_env_inline_and_path(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULT_PLAN", '{"crash_batches": [1]}')
+        assert FaultPlan.from_env().crash_batches == (1,)
+        f = tmp_path / "plan.json"
+        f.write_text('{"hang_batches": [0], "hang_s": 2.5}')
+        monkeypatch.setenv("REPRO_FAULT_PLAN", f"@{f}")
+        p = FaultPlan.from_env()
+        assert p.hang_batches == (0,) and p.hang_s == 2.5
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "{not json")
+        with pytest.raises(ValueError, match="REPRO_FAULT_PLAN"):
+            FaultPlan.from_env()
+
+    def test_shard_scoping_and_injector(self):
+        p = FaultPlan(fail_first_solves=1, shards=(0,))
+        assert p.applies_to(0) and not p.applies_to(1)
+        assert p.injector(0) is not None
+        assert p.injector(1) is None
+        assert FaultPlan(crash_batches=(0,)).injector(0) is None  # no solver faults
+
+    def test_state_counts_per_incarnation(self):
+        p = FaultPlan(shm_attach_failures=(1,))
+        st = FaultPlanState(p, shard_id=0)
+        st.on_dispatch("shm")  # batch 0: clean
+        with pytest.raises(Exception, match="attach"):
+            st.on_dispatch("shm")  # batch 1: injected
+        # inline payloads never see shm faults
+        st2 = FaultPlanState(p, shard_id=0)
+        st2.on_dispatch("inline")
+        st2.on_dispatch("inline")
+
+
+# ----------------------------------------------------------------------
+# breaker + backoff state machines
+class TestCircuitBreaker:
+    def test_trip_cooldown_probe_recover(self):
+        br = CircuitBreaker(threshold=2, cooldown=2, max_cooldown=8)
+        assert br.admit() == "primary"
+        br.record_failure()
+        assert br.state == "closed"
+        br.record_failure()
+        assert br.state == "open" and br.trips == 1
+        assert br.admit() == "degraded"
+        assert br.admit() == "degraded"
+        assert br.admit() == "probe"  # half-open after the cooldown
+        br.record_success()
+        assert br.state == "closed"
+        assert br.admit() == "primary"
+
+    def test_failed_probe_doubles_cooldown_bounded(self):
+        br = CircuitBreaker(threshold=1, cooldown=2, max_cooldown=4)
+        br.record_failure()  # trip (cooldown 2)
+        br.admit(), br.admit()
+        assert br.admit() == "probe"
+        br.record_failure()  # failed probe: cooldown 4
+        assert [br.admit() for _ in range(4)] == ["degraded"] * 4
+        assert br.admit() == "probe"
+        br.record_failure()  # capped at max_cooldown
+        assert [br.admit() for _ in range(4)] == ["degraded"] * 4
+        assert br.admit() == "probe"
+        br.record_success()
+        # recovery resets the cooldown to its base
+        br.record_failure()
+        assert [br.admit() for _ in range(2)] == ["degraded"] * 2
+        assert br.admit() == "probe"
+
+    def test_success_resets_consecutive_count(self):
+        br = CircuitBreaker(threshold=3, cooldown=1, max_cooldown=2)
+        br.record_failure(), br.record_failure()
+        br.record_success()
+        br.record_failure(), br.record_failure()
+        assert br.state == "closed"  # never 3 consecutive
+
+
+class TestRestartBackoff:
+    def test_bounded_doubling_and_reset(self):
+        b = RestartBackoff(base_s=0.5, max_s=2.0)
+        assert [b.next_delay() for _ in range(4)] == [0.5, 1.0, 2.0, 2.0]
+        b.reset()
+        assert b.next_delay() == 0.5
+        assert b.restarts == 5
+
+    def test_supervisor_snapshot_shape(self):
+        sup = ShardSupervisor(_fast_supervision())
+        sup.record_failure("worker_crashes")
+        snap = sup.snapshot()
+        assert snap["worker_crashes"] == 1
+        assert snap["breaker"]["state"] == "closed"
+        assert snap["breaker_trips"] == 0
+
+
+# ----------------------------------------------------------------------
+# checksummed checkpoint envelope (satellite 3)
+class TestChecksummedCheckpoints:
+    def _write(self, tmp_path) -> tuple[str, np.ndarray]:
+        path = str(tmp_path / "state.npz")
+        f = np.linspace(0.0, 1.0, 64)
+        save_checkpoint(path, fields=[f], t=2.5, extra={"step": 3})
+        return path, f
+
+    def test_round_trip(self, tmp_path):
+        path, f = self._write(tmp_path)
+        ck = load_checkpoint(path)
+        np.testing.assert_array_equal(ck.fields[0], f)
+        assert ck.t == 2.5 and ck.extra["step"] == 3
+
+    def test_truncated_file_detected(self, tmp_path):
+        path, _ = self._write(tmp_path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_bit_flip_detected(self, tmp_path):
+        path, _ = self._write(tmp_path)
+        blob = bytearray(open(path, "rb").read())
+        blob[-10] ^= 0x40  # flip one payload bit
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_legacy_bare_npz_still_loads(self, tmp_path):
+        import io
+        import json
+
+        path = str(tmp_path / "legacy.npz")
+        f = np.arange(6.0)
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            __version__=np.array(1),
+            fields=np.stack([f]),
+            t=np.array(0.5),
+            extra_json=np.array(json.dumps({"old": True})),
+        )
+        open(path, "wb").write(buf.getvalue())  # no checksum envelope
+        ck = load_checkpoint(path)
+        np.testing.assert_array_equal(ck.fields[0], f)
+        assert ck.extra["old"] is True
+
+    def test_envelope_primitives(self, tmp_path):
+        path = str(tmp_path / "raw.bin")
+        write_checksummed(path, b"payload-bytes")
+        assert read_checksummed(path) == b"payload-bytes"
+        open(path, "wb").write(b"RPROCKSUM1 deadbeef\n")
+        with pytest.raises(CheckpointError):
+            read_checksummed(path)
+
+
+# ----------------------------------------------------------------------
+# service checkpoint format
+class TestServiceCheckpointFormat:
+    def test_round_trip(self, tmp_path, plan):
+        path = str(tmp_path / "svc.ckpt")
+        jobs = [
+            PendingJob(plan.key, "job-a", np.zeros((1, plan.fs.ndofs)), 1.5),
+            PendingJob(plan.key, "job-b", np.ones((1, plan.fs.ndofs)), None),
+        ]
+        save_service_checkpoint(
+            path, pending=jobs, plans={plan.key: plan}, completed=["job-0"]
+        )
+        ckpt = load_service_checkpoint(path)
+        assert ckpt.pending_ids == {"job-a", "job-b"}
+        assert ckpt.completed == ("job-0",)
+        assert ckpt.plans[plan.key].key == plan.key
+        assert ckpt.pending[0].remaining_s == 1.5
+
+    def test_missing_plan_rejected(self, tmp_path, plan):
+        with pytest.raises(CheckpointError, match="plans absent"):
+            save_service_checkpoint(
+                str(tmp_path / "svc.ckpt"),
+                pending=[
+                    PendingJob(plan.key, "j", np.zeros((1, plan.fs.ndofs)))
+                ],
+                plans={},
+                completed=[],
+            )
+
+    def test_corrupt_file_rejected(self, tmp_path, plan):
+        path = str(tmp_path / "svc.ckpt")
+        save_service_checkpoint(
+            path, pending=[], plans={}, completed=["x"]
+        )
+        blob = bytearray(open(path, "rb").read())
+        blob[-3] ^= 0x01
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError):
+            load_service_checkpoint(path)
+
+
+# ----------------------------------------------------------------------
+# SIGTERM arena backstop (satellite 2)
+class TestArenaSigtermCleanup:
+    def test_sigterm_owner_leaves_no_orphans(self, tmp_path):
+        script = textwrap.dedent(
+            """
+            import os, sys, time
+            import numpy as np
+            from repro.backend.shm import SharedArena
+
+            arena = SharedArena(tag="sigterm-test")
+            seg = arena.alloc((64, 64), np.float64)
+            seg[...] = 1.0
+            print(os.getpid(), flush=True)
+            time.sleep(30)  # killed long before this returns
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            pid = int(proc.stdout.readline())
+            # segments exist while the owner runs
+            assert glob.glob(f"/dev/shm/rpro-{pid}-*")
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # handler chained to default SIGTERM: died by the signal...
+        assert proc.returncode == -signal.SIGTERM
+        # ...and swept its own segments on the way out
+        assert glob.glob(f"/dev/shm/rpro-{pid}-*") == []
+
+
+# ----------------------------------------------------------------------
+# process-tier chaos (the tentpole behaviors end to end)
+class TestProcessChaos:
+    def _service(self, fault_plan=None, supervision=None, **opts):
+        return CollisionSolveService(
+            ServeOptions(
+                executor="process",
+                num_shards=1,
+                max_batch=4,
+                supervision=supervision or _fast_supervision(),
+                **opts,
+            ),
+            fault_plan=fault_plan,
+        )
+
+    def test_crash_chaos_is_bitwise_equal_to_fault_free(self, plan, states):
+        """A worker crash mid-run must change nothing about the numbers:
+        the batch is retried on a fresh worker with identical
+        composition (the ISSUE-7 acceptance bar)."""
+        with CollisionSolveService(
+            ServeOptions(executor="thread", num_shards=1, max_batch=4)
+        ) as ref_svc:
+            ref = ref_svc.solve_many(plan, states[:8])
+        with self._service(
+            fault_plan=FaultPlan(crash_batches=(1,))
+        ) as svc:
+            out = svc.solve_many(plan, states[:8])
+            snap = svc.snapshot()
+        assert all(r.status == STATUS_OK for r in out)
+        for a, b in zip(ref, out):
+            np.testing.assert_array_equal(a.state, b.state)
+        assert snap["failures"]["worker_crashes"] >= 1
+        assert snap["jobs"]["worker_restarts"] >= 1
+
+    def test_restart_storm_trips_breaker_and_degrades(self, plan, states):
+        """crash_batches=(0,) kills every worker incarnation on its first
+        batch: the breaker must trip within its threshold budget and the
+        drain must complete on the degraded tier (satellite 4)."""
+        sup = _fast_supervision(breaker_threshold=2, breaker_cooldown=2)
+        with self._service(
+            fault_plan=FaultPlan(crash_batches=(0,)), supervision=sup
+        ) as svc:
+            out = svc.solve_many(plan, states[:12])
+            snap = svc.snapshot()
+        assert all(r.status == STATUS_OK for r in out)
+        shard0 = snap["shards"][0]
+        assert shard0["breaker_trips"] >= 1
+        assert shard0["degraded_batches"] >= 1
+        assert shard0["worker_crashes"] >= 2
+        assert snap["jobs"]["worker_restarts"] >= 2
+        # every job is on the books exactly once
+        assert snap["jobs"]["ok"] == 12
+
+    def test_hang_is_detected_killed_and_retried(self, plan, states):
+        """A hung worker raises nothing — only the batch deadline can see
+        it.  The supervisor kills it and the retry completes."""
+        sup = _fast_supervision(batch_deadline_s=3.0)
+        with self._service(
+            fault_plan=FaultPlan(hang_batches=(1,), hang_s=60.0),
+            supervision=sup,
+        ) as svc:
+            warm = svc.solve_many(plan, states[:2])  # worker batch 0
+            assert all(r.status == STATUS_OK for r in warm)
+            t0 = time.monotonic()
+            out = svc.solve_many(plan, states[2:6])  # batch 1 hangs
+            detect_s = time.monotonic() - t0
+            snap = svc.snapshot()
+        assert all(r.status == STATUS_OK for r in out)
+        assert detect_s < 30.0  # killed at the deadline, not hang_s
+        shard0 = snap["shards"][0]
+        assert shard0["worker_hangs"] >= 1
+        assert shard0["deadline_timeouts"] >= 1
+        assert snap["jobs"]["worker_restarts"] >= 1
+
+    def test_shm_attach_fault_retries_inline(self, plan, states):
+        with self._service(
+            fault_plan=FaultPlan(shm_attach_failures=(0,))
+        ) as svc:
+            out = svc.solve_many(plan, states[:4])
+            snap = svc.snapshot()
+        assert all(r.status == STATUS_OK for r in out)
+        assert snap["failures"]["shm_attach_faults"] == 1
+        assert snap["failures"]["worker_crashes"] == 0
+
+    def test_heartbeat_probe_replaces_stopped_worker(self, plan, states):
+        """A SIGSTOPped worker answers no heartbeat: the probe must kill
+        and replace it, and the next batch must succeed."""
+        sup = _fast_supervision(heartbeat_s=1.0)
+        with self._service(supervision=sup) as svc:
+            out = svc.solve_many(plan, states[:2])
+            assert all(r.status == STATUS_OK for r in out)
+            pool = svc._pools[0]
+            (worker_pid,) = list(pool._processes)
+            os.kill(worker_pid, signal.SIGSTOP)
+            try:
+                svc._heartbeat_probe(0)
+            finally:
+                # unfreeze (SIGKILL already landed; a stopped process
+                # dies on it regardless, this just avoids leaking one
+                # if the probe failed before killing)
+                with suppress(ProcessLookupError):
+                    os.kill(worker_pid, signal.SIGCONT)
+            out = svc.solve_many(plan, states[2:4])
+            snap = svc.snapshot()
+        assert all(r.status == STATUS_OK for r in out)
+        shard0 = snap["shards"][0]
+        assert shard0["heartbeat_misses"] == 1
+        assert shard0["worker_hangs"] == 1
+        assert snap["jobs"]["worker_restarts"] >= 1
+
+    def test_watchdog_lifecycle(self, plan, states):
+        sup = _fast_supervision(heartbeat_s=0.2)
+        with self._service(supervision=sup) as svc:
+            svc.start()
+            assert svc._watchdog is not None and svc._watchdog.is_alive()
+            h = svc.submit(plan, states[0])
+            assert h.result(60.0).status == STATUS_OK
+            svc.stop()
+            assert svc._watchdog is None
+
+
+# ----------------------------------------------------------------------
+# crash-consistent service checkpoints + resume
+class TestServiceResume:
+    def test_killed_service_resumes_only_unfinished_jobs(
+        self, plan, states, tmp_path
+    ):
+        """Drain half the jobs with checkpointing on, lose the service
+        (simulated by abandoning it un-closed), and restore into a fresh
+        one: only the unfinished jobs re-run, and together the two
+        halves cover every job exactly once."""
+        ckpt_dir = str(tmp_path / "ckpt")
+        opts = dict(
+            executor="process",
+            num_shards=1,
+            max_batch=2,
+            checkpoint_dir=ckpt_dir,
+            supervision=_fast_supervision(),
+        )
+        all_ids = [f"job-r{i}" for i in range(8)]
+        svc1 = CollisionSolveService(ServeOptions(**opts))
+        try:
+            handles = [
+                svc1.submit(plan, s, job_id=jid)
+                for jid, s in zip(all_ids, states[:8])
+            ]
+            done = svc1.drain(max_batches=2)  # then "SIGKILL"
+            assert done == 4
+            first_half = [h.result(0.0).job_id for h in handles[:done]]
+        finally:
+            svc1.close()
+
+        svc2 = CollisionSolveService(ServeOptions(**opts))
+        try:
+            resumed = svc2.restore()
+            assert {h.job.job_id for h in resumed} == set(all_ids[4:])
+            svc2.drain()
+            results = [h.result(10.0) for h in resumed]
+            snap = svc2.snapshot()
+        finally:
+            svc2.close()
+        assert all(r.status == STATUS_OK for r in results)
+        second_half = [r.job_id for r in results]
+        assert set(first_half) | set(second_half) == set(all_ids)
+        assert set(first_half) & set(second_half) == set()
+        assert snap["checkpoint"]["resume"]["resumed_jobs"] == 4
+        assert snap["checkpoint"]["resume"]["skipped_completed"] == 4
+
+    def test_resumed_results_match_uninterrupted_run(self, plan, states):
+        """Interrupted-then-resumed must be bitwise the uninterrupted
+        run: same jobs, same batch composition, same kernels."""
+        with CollisionSolveService(
+            ServeOptions(executor="thread", num_shards=1, max_batch=2)
+        ) as ref_svc:
+            ref = ref_svc.solve_many(plan, states[:6])
+        with tempfile.TemporaryDirectory() as d:
+            opts = dict(
+                executor="thread",
+                num_shards=1,
+                max_batch=2,
+                checkpoint_dir=d,
+            )
+            ids = [f"job-m{i}" for i in range(6)]
+            svc1 = CollisionSolveService(ServeOptions(**opts))
+            handles1 = [
+                svc1.submit(plan, s, job_id=jid)
+                for jid, s in zip(ids, states[:6])
+            ]
+            svc1.drain(max_batches=1)
+            svc1.close()
+            svc2 = CollisionSolveService(ServeOptions(**opts))
+            handles2 = svc2.restore()
+            svc2.drain()
+            by_id = {h.job.job_id: h.result(0.0) for h in handles1[:2]}
+            by_id.update({h.job.job_id: h.result(0.0) for h in handles2})
+            svc2.close()
+        for jid, r in zip(ids, ref):
+            np.testing.assert_array_equal(by_id[jid].state, r.state)
+
+    def test_checkpoint_written_after_every_batch(self, plan, states, tmp_path):
+        d = str(tmp_path / "ck")
+        with CollisionSolveService(
+            ServeOptions(
+                executor="thread", num_shards=1, max_batch=4,
+                checkpoint_dir=d,
+            )
+        ) as svc:
+            svc.solve_many(plan, states[:4])
+            ckpt = load_service_checkpoint(os.path.join(d, "service.ckpt"))
+        assert ckpt.pending == []
+        assert len(ckpt.completed) == 4
+
+    def test_restore_requires_configuration(self):
+        with CollisionSolveService(
+            ServeOptions(executor="thread", num_shards=1)
+        ) as svc:
+            with pytest.raises(ValueError, match="REPRO_SERVE_CHECKPOINT_DIR"):
+                svc.restore()
