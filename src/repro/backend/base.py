@@ -61,12 +61,34 @@ class ExecutionBackend:
 
     name: str = "abstract"
     workers: int = 1
+    #: set by :meth:`warmup`; backends with JIT state flip it after
+    #: compiling their kernels, everything else after the first (no-op)
+    #: warmup call.
+    warmed: bool = False
+    #: wall-clock seconds the last non-trivial :meth:`warmup` spent
+    #: (JIT compilation); 0.0 for compile-free backends.
+    warmup_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     @classmethod
     def available(cls) -> bool:
         """Whether this backend can run here (optional deps present)."""
         return True
+
+    # ------------------------------------------------------------------
+    def warmup(self) -> float:
+        """Compile/prime any lazily-built kernels *outside* timed paths.
+
+        Idempotent: the first call pays whatever one-time cost the
+        backend has (JIT compilation on the numba backend) and every
+        later call returns immediately.  Returns the seconds spent by
+        *this* call (0.0 when already warm or there is nothing to
+        compile).  Deadline-sensitive callers — the serve tier's
+        per-batch supervisor — invoke this before starting any clock so
+        first-call compilation can never masquerade as a hung worker.
+        """
+        self.warmed = True
+        return 0.0
 
     # ------------------------------------------------------------------
     # parallel-for over disjoint blocks
@@ -106,6 +128,43 @@ class ExecutionBackend:
         backends publish them into shared memory once so per-call
         dispatch ships handles instead of pickled copies; everywhere else
         this is a no-op."""
+
+    # ------------------------------------------------------------------
+    # Algorithm-1 row-block kernels (pair-table build / on-the-fly fields)
+    def pair_table_rows(
+        self, out: np.ndarray, r: np.ndarray, z: np.ndarray, i0: int, i1: int
+    ) -> None:
+        """Fill packed pair-table rows ``[i0, i1)`` of ``out (5, N, N)``
+        in ``(Drr, Drz, Dzz, Krr, Kzr)`` order for integration points
+        ``(r, z)``.  The default delegates to the numpy reference
+        (:func:`repro.core.landau_tensor.packed_pair_rows`); compiled
+        backends override with ``nopython`` kernels.  Must be safe to
+        call concurrently on disjoint row blocks."""
+        from ..core.landau_tensor import packed_pair_rows
+
+        packed_pair_rows(out, r, z, i0, i1)
+
+    def field_rows(
+        self,
+        G_D: np.ndarray,
+        G_K: np.ndarray,
+        r: np.ndarray,
+        z: np.ndarray,
+        cTD: np.ndarray,
+        cTKr: np.ndarray,
+        cTKz: np.ndarray,
+        i0: int,
+        i1: int,
+    ) -> None:
+        """Algorithm-1 on-the-fly inner integral for field rows
+        ``[i0, i1)``: evaluate the pair tensors against the ``(N, B)``
+        column sources and write ``G_D (B, N, 2, 2)`` / ``G_K (B, N,
+        2)`` rows.  Default delegates to
+        :func:`repro.core.landau_tensor.field_rows`; must be safe on
+        disjoint row blocks."""
+        from ..core.landau_tensor import field_rows
+
+        field_rows(G_D, G_K, r, z, cTD, cTKr, cTKz, i0, i1)
 
     # ------------------------------------------------------------------
     # dense contractions

@@ -1,0 +1,351 @@
+"""Algorithm 1 as a real ``numba.cuda.jit`` kernel — the compiled sibling
+of the instruction-counting CUDA simulator mapping.
+
+:class:`repro.core.kernel_cuda.CudaLandauJacobian` *models* the paper's
+§III-B kernel on a counting simulator; this module *compiles* the same
+kernel shape with ``numba.cuda.jit``: one element per block, the y
+thread dimension indexing the element's integration points, the x
+dimension striding the inner integral over all N source points with
+register partials, a shared-memory reduction in place of the warp
+shuffle butterfly, per-species scaling staged in shared memory, and a
+transform & assemble phase where the flattened thread id strides the
+``(s, a, b)`` output triples and scatters through the constrained-vertex
+interpolation with ``cuda.atomic.add`` (thread indexing per SNIPPETS.md
+Snippet 1: ``pos = tx + ty * bw``).
+
+:class:`CudaJitLandauJacobian` mirrors the simulator driver's launch
+geometry exactly — same grid (``nelem``), same ``(block_x, nq)`` block
+choice, one launch per Jacobian build — so the conformance suite can
+assert *identical launch counters* between the modeled and compiled
+paths on top of ≤1e-12 numerical agreement.
+
+Elliptic integrals use the same AGM iteration as
+:mod:`repro.backend.numba_kernels`, transliterated as device functions
+(``scipy.special`` does not exist on a device).
+
+Runs on a real GPU when one is visible, or under numba's CUDA simulator
+(``NUMBA_ENABLE_CUDASIM=1``, set *before* numba is first imported —
+this is how CI exercises it).  Guarded like the rest of the numba
+backend: :func:`cuda_jit_available` is ``False`` and construction
+raises :class:`BackendUnavailable` when neither is usable.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+
+from ..core.species import SpeciesSet
+from ..fem.function_space import FunctionSpace
+from .base import BackendUnavailable
+from .kernel_spec import DeviceKernelData, FieldData, KernelData
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import cuda
+
+    _HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the common container case
+    cuda = None
+    _HAVE_NUMBA = False
+
+__all__ = ["CudaJitLandauJacobian", "cuda_jit_available"]
+
+#: shared-memory sizing ceilings (Q3 tensor elements are 16 x 16)
+MAX_NQ = 16
+MAX_S = 4
+
+_KERNEL = None
+
+
+def cuda_jit_available() -> bool:
+    """True when the kernel can actually run: numba is installed and
+    either the CUDA simulator is enabled or a real device is visible."""
+    if not _HAVE_NUMBA:
+        return False
+    if os.environ.get("NUMBA_ENABLE_CUDASIM", "0") not in ("0", ""):
+        return True
+    try:  # pragma: no cover - requires a GPU
+        return bool(cuda.is_available())
+    except Exception:  # pragma: no cover - broken driver stacks
+        return False
+
+
+def _get_kernel():  # pragma: no cover - requires numba (sim or device)
+    """Compile (once) the device functions + the element-Jacobian kernel."""
+    global _KERNEL
+    if _KERNEL is not None:
+        return _KERNEL
+
+    @cuda.jit(device=True)
+    def ellip_ke(m):
+        # AGM iteration; exact pi/2 pair at m == 0 (see numba_kernels)
+        half_pi = 0.5 * math.pi
+        if m <= 0.0:
+            return half_pi, half_pi
+        a = 1.0
+        b = math.sqrt(1.0 - m)
+        c = math.sqrt(m)
+        csum = 0.5 * c * c
+        pow2 = 0.5
+        for _ in range(64):
+            an = 0.5 * (a + b)
+            c = 0.5 * (a - b)
+            b = math.sqrt(a * b)
+            a = an
+            pow2 *= 2.0
+            csum += pow2 * c * c
+            # threshold above the 1-ulp stall of c (see numba_kernels)
+            if c <= 2.3e-16 * a:
+                break
+        K = math.pi / (2.0 * a)
+        return K, K * (1.0 - csum)
+
+    @cuda.jit(device=True)
+    def pair_components(ri, zi, rj, zj):
+        # the five packed tensor components; mirrors numba_kernels
+        dz = zi - zj
+        A = ri * ri + rj * rj + dz * dz
+        B = 2.0 * ri * rj
+        scale = A if A > 1.0 else 1.0
+        if (A - B) <= 1e-14 * scale:  # SINGULAR_REL_TOL
+            return 0.0, 0.0, 0.0, 0.0, 0.0
+        ApB = A + B
+        AmB = A - B
+        m = 2.0 * B / ApB
+        K, E = ellip_ke(m)
+        inv_sqrt = 1.0 / math.sqrt(ApB)
+        inv_pow32 = inv_sqrt / ApB
+        T0 = E * ApB / AmB
+        if m < 2.0e-3:  # SMALL_M series switch
+            hp = 0.5 * math.pi
+            T1 = hp * (
+                0.5
+                + m * (9.0 / 16.0 + m * (75.0 / 128.0 + m * 1225.0 / 2048.0))
+            )
+            T2 = hp * (3.0 / 8.0 + m * (15.0 / 32.0 + m * 525.0 / 1024.0))
+            I11c = hp * m * (0.125 + m * (3.0 / 32.0 + m * 75.0 / 1024.0))
+        else:
+            T1 = (T0 - K) / m
+            T2 = (T0 - 2.0 * K + E) / (m * m)
+            I11c = 2.0 * (K - E) / m - K
+        I10 = 4.0 * K * inv_sqrt
+        I11 = 4.0 * I11c * inv_sqrt
+        I30 = 4.0 * T0 * inv_pow32
+        I31 = 4.0 * (2.0 * T1 - T0) * inv_pow32
+        I32 = 4.0 * (4.0 * T2 - 4.0 * T1 + T0) * inv_pow32
+        Drr = I10 - (ri * ri * I30 - 2.0 * ri * rj * I31 + rj * rj * I32)
+        Drz = -(dz * (ri * I30 - rj * I31))
+        Dzz = I10 - dz * dz * I30
+        Krr = I11 - ((ri * ri + rj * rj) * I31 - ri * rj * (I30 + I32))
+        Kzr = -(dz * (ri * I31 - rj * I30))
+        return Drr, Drz, Dzz, Krr, Kzr
+
+    @cuda.jit
+    def jacobian_kernel(
+        r,
+        z,
+        w,
+        f,
+        dfr,
+        dfz,
+        Bq,
+        Dref,
+        invJ,
+        z2,
+        z2om,
+        fac_k,
+        fac_d,
+        targets_flat,
+        targets_off,
+        P_flat,
+        P_off,
+        out,
+    ):
+        # Snippet-1 thread indexing: tx lanes stride the inner integral,
+        # ty indexes this element's integration points, pos = tx + ty*bw
+        # flattens the block for the transform phase.
+        e = cuda.blockIdx.x
+        tx = cuda.threadIdx.x
+        ty = cuda.threadIdx.y
+        bw = cuda.blockDim.x
+        nq = cuda.blockDim.y
+        S = z2.shape[0]
+        N = r.shape[0]
+        nb = Bq.shape[1]
+
+        # shared: per-IP integrals (5 unique G comps) and staged KK/DD
+        sG = cuda.shared.array((MAX_NQ, 5), dtype=np.float64)
+        sC = cuda.shared.array((MAX_S, MAX_NQ, 5), dtype=np.float64)
+
+        if tx == 0:
+            for c in range(5):
+                sG[ty, c] = 0.0
+        cuda.syncthreads()
+
+        gi = e * nq + ty
+        ri = r[gi]
+        zi = z[gi]
+
+        # --- inner integral: lane-strided register partials (lines 4-11)
+        gd00 = 0.0
+        gd01 = 0.0
+        gd11 = 0.0
+        gk0 = 0.0
+        gk1 = 0.0
+        for j in range(tx, N, bw):
+            Drr, Drz, Dzz, Krr, Kzr = pair_components(ri, zi, r[j], z[j])
+            td = 0.0
+            tkr = 0.0
+            tkz = 0.0
+            for s in range(S):  # beta sums (lines 5-8)
+                td += z2[s] * f[s, j]
+                tkr += z2om[s] * dfr[s, j]
+                tkz += z2om[s] * dfz[s, j]
+            wj = w[j]
+            gd00 += wj * td * Drr
+            gd01 += wj * td * Drz
+            gd11 += wj * td * Dzz
+            gk0 += wj * (Krr * tkr + Drz * tkz)
+            gk1 += wj * (Kzr * tkr + Dzz * tkz)
+        # lane combine (line 12): shared-memory reduction stands in for
+        # the simulator's counted warp-shuffle butterfly
+        cuda.atomic.add(sG, (ty, 0), gd00)
+        cuda.atomic.add(sG, (ty, 1), gd01)
+        cuda.atomic.add(sG, (ty, 2), gd11)
+        cuda.atomic.add(sG, (ty, 3), gk0)
+        cuda.atomic.add(sG, (ty, 4), gk1)
+        cuda.syncthreads()
+
+        # --- per-species scaling staged in shared memory (lines 13-16)
+        if tx == 0:
+            wi = w[gi]
+            for s in range(S):
+                sC[s, ty, 0] = fac_d[s] * sG[ty, 0] * wi  # DD rr
+                sC[s, ty, 1] = fac_d[s] * sG[ty, 1] * wi  # DD rz
+                sC[s, ty, 2] = fac_d[s] * sG[ty, 2] * wi  # DD zz
+                sC[s, ty, 3] = fac_k[s] * sG[ty, 3] * wi  # KK r
+                sC[s, ty, 4] = fac_k[s] * sG[ty, 4] * wi  # KK z
+        cuda.syncthreads()
+
+        # --- transform & assemble (lines 18-23): flattened threads
+        # stride the (s, a, b) triples of this element's dense block
+        pos = tx + ty * bw
+        nthreads = nq * bw
+        k0 = targets_off[e]
+        ke = targets_off[e + 1] - k0
+        p0 = P_off[e]
+        total = S * nb * nb
+        for idx in range(pos, total, nthreads):
+            s = idx // (nb * nb)
+            rem = idx - s * nb * nb
+            a = rem // nb
+            b = rem - a * nb
+            acc = 0.0
+            for i in range(nq):
+                ga0 = Dref[i, a, 0] * invJ[e, 0]
+                ga1 = Dref[i, a, 1] * invJ[e, 1]
+                gb0 = Dref[i, b, 0] * invJ[e, 0]
+                gb1 = Dref[i, b, 1] * invJ[e, 1]
+                d00 = sC[s, i, 0]
+                d01 = sC[s, i, 1]
+                d11 = sC[s, i, 2]
+                acc += ga0 * (d00 * gb0 + d01 * gb1)
+                acc += ga1 * (d01 * gb0 + d11 * gb1)
+                acc += (ga0 * sC[s, i, 3] + ga1 * sC[s, i, 4]) * Bq[i, b]
+            # constrained-vertex interpolation: Cfree = Pe^T C Pe scattered
+            for k in range(ke):
+                pa = P_flat[p0 + a * ke + k]
+                if pa == 0.0:
+                    continue
+                ta = targets_flat[k0 + k]
+                for l in range(ke):
+                    pb = P_flat[p0 + b * ke + l]
+                    if pb == 0.0:
+                        continue
+                    cuda.atomic.add(
+                        out, (s, ta, targets_flat[k0 + l]), acc * pa * pb
+                    )
+
+    _KERNEL = jacobian_kernel
+    return _KERNEL
+
+
+class CudaJitLandauJacobian:
+    """Driver for the compiled kernel; launch-geometry-identical to
+    :class:`repro.core.kernel_cuda.CudaLandauJacobian`.
+
+    ``counters["kernel_launches"]`` increments once per :meth:`build`,
+    and ``grid``/``block`` record the launch shape — the conformance
+    suite asserts both against the simulator driver.
+    """
+
+    def __init__(
+        self,
+        fs: FunctionSpace,
+        species: SpeciesSet,
+        nu0: float = 1.0,
+        block_x: int | None = None,
+    ):
+        if not cuda_jit_available():
+            raise BackendUnavailable(
+                "the numba.cuda Landau kernel needs numba plus either a "
+                "CUDA device or NUMBA_ENABLE_CUDASIM=1 (set before numba "
+                "is first imported)"
+            )
+        self.fs = fs
+        self.species = species
+        self.nu0 = float(nu0)
+        self.kd = KernelData.build(fs, species)
+        self.dev = DeviceKernelData.pack(self.kd)
+        if self.kd.nq > MAX_NQ or len(species) > MAX_S:
+            raise ValueError(
+                f"kernel shared-memory ceilings exceeded: nq={self.kd.nq} "
+                f"(max {MAX_NQ}), S={len(species)} (max {MAX_S})"
+            )
+        # identical block choice to the simulator driver:
+        # y = integration points; x = power of two with <= 256 total
+        if block_x is None:
+            block_x = 1
+            while block_x * 2 * self.kd.nq <= 256:
+                block_x *= 2
+        self.block = (block_x, self.kd.nq)
+        self.grid = self.kd.nelem
+        self.counters = {"kernel_launches": 0}
+
+    def build(
+        self, fields: list[np.ndarray]
+    ) -> np.ndarray:  # pragma: no cover - requires numba (sim or device)
+        """One kernel launch; returns dense ``(S, n_free, n_free)`` blocks."""
+        kd = self.kd
+        fd = FieldData.build(self.fs, fields)
+        S = len(self.species)
+        z2 = kd.charges**2
+        z2om = z2 / kd.masses
+        fac_k = self.nu0 * z2om
+        fac_d = -self.nu0 * z2 / kd.masses**2
+        out = np.zeros((S, kd.n_free, kd.n_free))
+        kernel = _get_kernel()
+        kernel[self.grid, self.block](
+            kd.r,
+            kd.z,
+            kd.w,
+            np.ascontiguousarray(fd.f),
+            np.ascontiguousarray(fd.df[0]),
+            np.ascontiguousarray(fd.df[1]),
+            kd.B,
+            kd.Dref,
+            kd.inv_jac,
+            z2,
+            z2om,
+            fac_k,
+            fac_d,
+            self.dev.targets_flat,
+            self.dev.targets_off,
+            self.dev.P_flat,
+            self.dev.P_off,
+            out,
+        )
+        self.counters["kernel_launches"] += 1
+        return out

@@ -46,7 +46,13 @@ from __future__ import annotations
 import numpy as np
 from scipy import special as sps
 
-__all__ = ["landau_tensor_3d", "azimuthal_integrals", "landau_tensors_cyl"]
+__all__ = [
+    "landau_tensor_3d",
+    "azimuthal_integrals",
+    "landau_tensors_cyl",
+    "packed_pair_rows",
+    "field_rows",
+]
 
 #: relative tolerance below which a pair is considered coincident and masked
 #: (the self-interaction term, dropped exactly as PETSc's ``mask`` does).
@@ -214,3 +220,65 @@ def landau_tensors_cyl(
         UD[coincident] = 0.0
         UK[coincident] = 0.0
     return UD, UK
+
+
+# ----------------------------------------------------------------------
+# Row-block reference kernels.
+#
+# These are the numpy reference implementations of the two Algorithm-1
+# hot loops that :class:`repro.backend.base.ExecutionBackend` exposes as
+# overridable hooks (``pair_table_rows`` / ``field_rows``): the packed
+# pair-table build and the on-the-fly field evaluation.  The numba
+# backend replaces them with ``nopython`` kernels; everything else runs
+# these exact expressions, so the numpy path stays bitwise-identical to
+# the pre-hook code.
+
+
+def packed_pair_rows(
+    out: np.ndarray, r: np.ndarray, z: np.ndarray, i0: int, i1: int
+) -> None:
+    """Fill packed pair-table rows ``[i0, i1)`` of the ``(5, N, N)``
+    buffer ``out`` in ``(Drr, Drz, Dzz, Krr, Kzr)`` component order
+    (``Krz``/``Kzz`` alias ``Drz``/``Dzz`` and are not stored).
+
+    Thread-safe over disjoint row blocks: each call writes only its own
+    ``out[:, i0:i1]`` slice.
+    """
+    UD, UK = landau_tensors_cyl(
+        r[i0:i1, None], z[i0:i1, None], r[None, :], z[None, :]
+    )
+    out[0, i0:i1] = UD[..., 0, 0]
+    out[1, i0:i1] = UD[..., 0, 1]
+    out[2, i0:i1] = UD[..., 1, 1]
+    out[3, i0:i1] = UK[..., 0, 0]
+    out[4, i0:i1] = UK[..., 1, 0]
+
+
+def field_rows(
+    G_D: np.ndarray,
+    G_K: np.ndarray,
+    r: np.ndarray,
+    z: np.ndarray,
+    cTD: np.ndarray,
+    cTKr: np.ndarray,
+    cTKz: np.ndarray,
+    i0: int,
+    i1: int,
+) -> None:
+    """On-the-fly Algorithm-1 inner integral for field-point rows
+    ``[i0, i1)``: re-evaluate the pair tensors for the row block and
+    contract them against the ``(N, B)`` column sources, accumulating
+    into ``G_D (B, N, 2, 2)`` / ``G_K (B, N, 2)``.
+
+    Thread-safe over disjoint row blocks (each call writes only the
+    ``[:, i0:i1]`` slices of the outputs).
+    """
+    UD, UK = landau_tensors_cyl(
+        r[i0:i1, None], z[i0:i1, None], r[None, :], z[None, :]
+    )
+    G_D[:, i0:i1, 0, 0] = (UD[..., 0, 0] @ cTD).T
+    G_D[:, i0:i1, 0, 1] = (UD[..., 0, 1] @ cTD).T
+    G_D[:, i0:i1, 1, 0] = G_D[:, i0:i1, 0, 1]
+    G_D[:, i0:i1, 1, 1] = (UD[..., 1, 1] @ cTD).T
+    G_K[:, i0:i1, 0] = (UK[..., 0, 0] @ cTKr + UK[..., 0, 1] @ cTKz).T
+    G_K[:, i0:i1, 1] = (UK[..., 1, 0] @ cTKr + UK[..., 1, 1] @ cTKz).T

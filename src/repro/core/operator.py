@@ -157,19 +157,11 @@ class LandauOperator:
         }
 
     def _fill_packed_rows(self, out: np.ndarray, i0: int, i1: int) -> None:
-        """Compute packed-table rows ``[i0, i1)`` (thread-safe: disjoint
-        output slices, numpy releases the GIL in the contractions)."""
-        UD, UK = landau_tensors_cyl(
-            self.r[i0:i1, None],
-            self.z[i0:i1, None],
-            self.r[None, :],
-            self.z[None, :],
-        )
-        out[0, i0:i1] = UD[..., 0, 0]
-        out[1, i0:i1] = UD[..., 0, 1]
-        out[2, i0:i1] = UD[..., 1, 1]
-        out[3, i0:i1] = UK[..., 0, 0]
-        out[4, i0:i1] = UK[..., 1, 0]
+        """Compute packed-table rows ``[i0, i1)`` through the backend's
+        row-block kernel (thread-safe: disjoint output slices; the numpy
+        hook releases the GIL in the contractions, the numba hook in the
+        whole ``nogil`` kernel)."""
+        self.backend.pair_table_rows(out, self.r, self.z, i0, i1)
 
     def _row_blocks(self, N: int) -> list[tuple[int, int]]:
         """Row blocks for O(N^2) table/field work: sized by the memory
@@ -328,18 +320,9 @@ class LandauOperator:
         cTKz = np.ascontiguousarray(wTKz.T)
 
         def eval_rows(i0: int, i1: int) -> None:
-            UD, UK = landau_tensors_cyl(
-                self.r[i0:i1, None],
-                self.z[i0:i1, None],
-                self.r[None, :],
-                self.z[None, :],
+            self.backend.field_rows(
+                G_D, G_K, self.r, self.z, cTD, cTKr, cTKz, i0, i1
             )
-            G_D[:, i0:i1, 0, 0] = (UD[..., 0, 0] @ cTD).T
-            G_D[:, i0:i1, 0, 1] = (UD[..., 0, 1] @ cTD).T
-            G_D[:, i0:i1, 1, 0] = G_D[:, i0:i1, 0, 1]
-            G_D[:, i0:i1, 1, 1] = (UD[..., 1, 1] @ cTD).T
-            G_K[:, i0:i1, 0] = (UK[..., 0, 0] @ cTKr + UK[..., 0, 1] @ cTKz).T
-            G_K[:, i0:i1, 1] = (UK[..., 1, 0] @ cTKr + UK[..., 1, 1] @ cTKz).T
 
         if self.backend.parallel_for(self._row_blocks(N), eval_rows):
             self.counters["parallel_builds"] += 1
@@ -389,7 +372,11 @@ class LandauOperator:
         such that ``M df_a/dt = L_a f_a`` (plus field/source terms)."""
         D_q, K_q = self.species_coefficients(s_index, G_D, G_K)
         return assemble_coefficient_operator(
-            self.fs, D_q, K_q, structure=self._scatter_for_build()
+            self.fs,
+            D_q,
+            K_q,
+            structure=self._scatter_for_build(),
+            backend=self.backend,
         )
 
     def _scatter_for_build(self):

@@ -69,9 +69,16 @@ class SupervisorOptions:
     #: idle-worker heartbeat period in seconds; 0 disables the watchdog
     heartbeat_s: float = 0.0
     #: wall-clock budget for one batch on the process tier; 0 = no deadline.
-    #: Must cover the worst case *including* a cold plan build in a fresh
-    #: worker (pair tables are O(N^2)) — size it from a warm run, not hope.
+    #: Cold costs (the O(N^2) pair-table build and, on the numba backend,
+    #: JIT compilation) are paid by the separate *warm* call the service
+    #: issues before the first timed batch of each plan, so this budget
+    #: only has to cover warm execution.
     batch_deadline_s: float = 0.0
+    #: wall-clock budget for the untimed-by-default per-plan warm call
+    #: (plan build + backend JIT warmup in a fresh worker); 0 = no
+    #: deadline.  Kept separate from ``batch_deadline_s`` precisely so
+    #: compile/build time never eats the per-batch budget.
+    warm_deadline_s: float = 0.0
     #: consecutive worker failures before the shard's breaker opens
     breaker_threshold: int = 3
     #: degraded batches served before an open breaker half-opens a probe
@@ -88,6 +95,10 @@ class SupervisorOptions:
         if self.batch_deadline_s < 0:
             raise ValueError(
                 f"batch_deadline_s must be >= 0, got {self.batch_deadline_s}"
+            )
+        if self.warm_deadline_s < 0:
+            raise ValueError(
+                f"warm_deadline_s must be >= 0, got {self.warm_deadline_s}"
             )
         if self.breaker_threshold < 1:
             raise ValueError(
@@ -112,6 +123,9 @@ class SupervisorOptions:
             heartbeat_s=float(env.get("REPRO_SERVE_HEARTBEAT_S", cls.heartbeat_s)),
             batch_deadline_s=float(
                 env.get("REPRO_SERVE_BATCH_DEADLINE_S", cls.batch_deadline_s)
+            ),
+            warm_deadline_s=float(
+                env.get("REPRO_SERVE_WARM_DEADLINE_S", cls.warm_deadline_s)
             ),
             breaker_threshold=int(
                 env.get("REPRO_SERVE_BREAKER_THRESHOLD", cls.breaker_threshold)

@@ -74,6 +74,7 @@ from .shard import (
     _process_init,
     _process_publish_plan,
     _process_snapshot,
+    _process_warm,
 )
 
 __all__ = ["ServeOptions", "HashRing", "CollisionSolveService"]
@@ -254,6 +255,9 @@ class CollisionSolveService:
         self._pools: list[ProcessPoolExecutor] | None = None
         #: per shard: plan keys already published to its worker process
         self._published_plans: list[set] = [set() for _ in range(n)]
+        #: per shard: plan keys already *warmed* in its worker process
+        #: (runtime built + backend JIT compiled, outside batch deadlines)
+        self._warmed_plans: list[set] = [set() for _ in range(n)]
         #: per shard: times its worker process died and was re-initialized
         self._restarts = [0] * n
         self._arena: SharedArena | None = None
@@ -317,6 +321,7 @@ class CollisionSolveService:
             old.shutdown(wait=False, cancel_futures=True)
         self._pools[shard] = self._make_pool(shard)
         self._published_plans[shard].clear()
+        self._warmed_plans[shard].clear()
         self._restarts[shard] += 1
         if sup is not None:
             sup.record_recovery(time.monotonic() - t0)
@@ -434,6 +439,31 @@ class CollisionSolveService:
             self._pools[shard].submit(_process_publish_plan, plan).result()
             self._published_plans[shard].add(plan.key)
 
+    def _warm_worker(self, shard: int, plan: SolvePlan) -> None:
+        """Warm a published plan in the shard worker *before* its first
+        timed batch: the worker builds the PlanRuntime (O(N^2) pair
+        tables) and JIT-compiles the backend under the separate —
+        untimed by default — ``warm_deadline_s`` budget, so
+        ``batch_deadline_s`` only ever measures warm execution.  Once
+        per (worker incarnation, plan); a worker restart clears the
+        warmed set along with the published set."""
+        assert self._pools is not None
+        if plan.key in self._warmed_plans[shard]:
+            return
+        deadline = self.options.supervision.warm_deadline_s
+        future = self._pools[shard].submit(_process_warm, plan.key)
+        try:
+            future.result(deadline if deadline > 0 else None)
+        except FuturesTimeout:
+            self._kill_worker(shard)
+            with suppress(Exception):
+                future.cancel()
+            raise WorkerHang(
+                f"shard {shard} worker missed the {deadline:.3g}s warm "
+                "deadline; the process was killed"
+            ) from None
+        self._warmed_plans[shard].add(plan.key)
+
     def _await_worker(self, shard: int, future) -> list[tuple]:
         """Wait for a worker-side result under the batch deadline; a
         deadline miss kills the worker (hung processes never return) and
@@ -461,6 +491,7 @@ class CollisionSolveService:
         assert self._pools is not None and self._arena is not None
         plan = jobs[0].plan
         self._publish_plan(shard, plan)
+        self._warm_worker(shard, plan)
         states = np.stack([j.state for j in jobs])
         meta = [(j.job_id, j.deadline, j.submitted) for j in jobs]
         seg = handle = None
@@ -482,7 +513,9 @@ class CollisionSolveService:
                 # defensive: the worker lost its store without breaking
                 # the pool — republish and retry once
                 self._published_plans[shard].discard(plan.key)
+                self._warmed_plans[shard].discard(plan.key)
                 self._publish_plan(shard, plan)
+                self._warm_worker(shard, plan)
                 return self._await_worker(
                     shard,
                     pool.submit(_process_execute, plan.key, meta, payload),

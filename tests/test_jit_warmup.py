@@ -1,0 +1,171 @@
+"""JIT warmup protocol: compile time stays out of timed/deadline paths.
+
+The numba backend pays a multi-second compilation cost on first call.
+Three layers keep that cost off the clocks the supervisor watches:
+
+* every backend exposes an idempotent :meth:`warmup` and the
+  :class:`NumbaBackend` compiles its kernel suite there, at
+  construction, before the backend is handed to anything timed;
+* :class:`PlanRuntime` re-invokes ``warmup()`` during construction and
+  records the seconds as ``warmup_s``;
+* the process-executor service issues an explicit *warm* RPC per
+  (worker incarnation, plan) under the separate ``warm_deadline_s``
+  budget (untimed by default) before the first batch, so the per-batch
+  ``batch_deadline_s`` never sees plan build + compile time and cold
+  workers cannot raise spurious ``WorkerHang``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backend import NumbaBackend, NumpyBackend, ThreadedBackend
+from repro.core.maxwellian import maxwellian_rz
+from repro.resilience.supervisor import SupervisorOptions
+from repro.serve import CollisionSolveService, ServeOptions, SolvePlan
+from repro.serve.jobs import STATUS_OK
+from repro.serve.plan import PlanRuntime
+from repro.serve.shard import ShardWorker
+
+needs_numba = pytest.mark.skipif(
+    not NumbaBackend.available(),
+    reason="numba is not installed in this container",
+)
+
+
+@pytest.fixture
+def plan(fs_q2, electron_species):
+    return SolvePlan(fs=fs_q2, species=electron_species, dt=0.3)
+
+
+@pytest.fixture(scope="module")
+def states(request):
+    fs = request.getfixturevalue("fs_q2")
+    rng = np.random.default_rng(77)
+    out = []
+    for _ in range(8):
+        vth = 0.886 * rng.uniform(0.8, 1.1)
+        out.append(
+            fs.interpolate(
+                lambda r, z, v=vth: maxwellian_rz(r, z, 1.0, v)
+            )[None, :]
+        )
+    return out
+
+
+class TestBackendWarmup:
+    @pytest.mark.parametrize("cls", [NumpyBackend, ThreadedBackend])
+    def test_interpreted_warmup_is_free_and_idempotent(self, cls):
+        be = cls()
+        assert be.warmup() == 0.0
+        assert be.warmed
+        assert be.warmup() == 0.0  # second call is a no-op
+
+    @needs_numba
+    def test_numba_backend_warm_at_construction(self):
+        """With REPRO_NUMBA_WARMUP on (the default) the backend compiles
+        its kernels in __init__ — nothing timed ever sees a cold call."""
+        be = NumbaBackend(num_threads=2)
+        assert be.warmed
+        assert be.warmup() == 0.0  # already compiled
+
+
+class TestPlanRuntimeWarmup:
+    def test_runtime_records_warmup_seconds(self, plan):
+        rt = PlanRuntime(plan)
+        assert rt.warmup_s >= 0.0
+        assert rt.op.backend.warmed
+        # construction already warmed the backend; re-warm is free
+        assert rt.warmup() == 0.0
+
+    def test_shard_worker_counts_warm_calls(self, plan, states):
+        w = ShardWorker(shard_id=0)
+        from repro.serve.jobs import SolveJob
+
+        w.execute_batch(
+            [SolveJob(job_id="j0", plan=plan, state=states[0])]
+        )
+        spent = w.warm_plan(plan)
+        assert spent >= 0.0
+        assert w.warm_calls == 1
+        snap = w.snapshot()
+        assert snap["warm_calls"] == 1
+        assert snap["warm_seconds"] >= 0.0
+
+
+class TestWarmDeadlineOptions:
+    def test_negative_warm_deadline_rejected(self):
+        with pytest.raises(ValueError, match="warm_deadline_s"):
+            SupervisorOptions(warm_deadline_s=-1.0)
+
+    def test_default_is_untimed(self):
+        assert SupervisorOptions().warm_deadline_s == 0.0
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WARM_DEADLINE_S", "2.5")
+        assert SupervisorOptions.from_env().warm_deadline_s == 2.5
+
+
+class TestColdWorkerDeadlines:
+    """Per-batch deadlines must not count first-call plan build/compile:
+    the warm RPC pays it before the batch clock starts."""
+
+    def test_cold_worker_batch_deadline_not_charged_for_warmup(
+        self, plan, states
+    ):
+        # a deadline generous for *warm* execution; the worker is cold
+        # (fresh process, no published plan) when the first batch lands
+        sup = SupervisorOptions(batch_deadline_s=30.0)
+        with CollisionSolveService(
+            ServeOptions(
+                executor="process",
+                num_shards=1,
+                max_batch=4,
+                supervision=sup,
+            )
+        ) as svc:
+            res = svc.solve_many(plan, states[:4])
+            assert all(r.status == STATUS_OK for r in res)
+            snap = svc.snapshot()
+            shard0 = snap["shards"][0]
+            # the warm RPC ran exactly once for the one plan...
+            assert shard0["warm_calls"] == 1
+            assert svc._warmed_plans[0] == {plan.key}
+            # ...and no batch tripped the deadline or killed the worker
+            assert shard0["deadline_timeouts"] == 0
+            assert snap["jobs"]["worker_restarts"] == 0
+
+    def test_restart_invalidates_warmed_set(self, plan, states):
+        with CollisionSolveService(
+            ServeOptions(executor="process", num_shards=1, max_batch=4)
+        ) as svc:
+            svc.solve_many(plan, states[:2])
+            assert svc._warmed_plans[0] == {plan.key}
+            with pytest.raises(Exception):
+                svc._pools[0].submit(os._exit, 1).result()
+            # the healed worker is cold again: the next drain must
+            # re-publish AND re-warm before its first timed batch
+            res = svc.solve_many(plan, states[2:6])
+            assert all(r.status == STATUS_OK for r in res)
+            assert svc._warmed_plans[0] == {plan.key}
+            shard0 = svc.snapshot()["shards"][0]
+            # worker-side counter reset with the process, then the
+            # re-warm on the fresh incarnation brought it back to 1
+            assert shard0["warm_calls"] == 1
+
+    def test_warm_deadline_zero_means_no_clock(self, plan, states):
+        """warm_deadline_s=0 (default) never times the warm call."""
+        with CollisionSolveService(
+            ServeOptions(
+                executor="process",
+                num_shards=1,
+                max_batch=4,
+                supervision=SupervisorOptions(warm_deadline_s=0.0),
+            )
+        ) as svc:
+            res = svc.solve_many(plan, states[:2])
+            assert all(r.status == STATUS_OK for r in res)
+            assert svc.snapshot()["shards"][0]["warm_calls"] == 1
