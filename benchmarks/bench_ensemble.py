@@ -1,0 +1,250 @@
+"""Ensemble campaign acceptance bench: UQ distributions over the serve tier.
+
+Runs a seeded stochastic quench ensemble (see ``repro.ensemble``) through
+the batched collision-solve service and reports:
+
+* quench-time / post-quench-resistivity / runaway-fraction distributions
+  (quantiles + bootstrap CIs) over the members;
+* campaign throughput in members/hour against the honest sequential
+  baseline (same members, one job per batch, single shard);
+* the plan-cache hit rate across members sharing a species signature
+  (members differ in Maxwellian parameters, not plan identity, so the
+  warm cache is hit across the whole campaign);
+* determinism evidence: a shuffled-submission re-run must be bitwise
+  identical, and — where the process executor is available — the
+  thread- and process-executor campaigns must match bitwise too;
+* resume correctness: a partially-run campaign restarted from its
+  ``RPROCKSUM1`` ledger finishes with ``rerun_overlap == 0``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ensemble.py \
+        [--smoke] [--members N] [--out BENCH_ensemble.json]
+
+``--smoke`` runs a small member count on a coarse mesh (CI); the full
+mode sizes the campaign at >= 32 members.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+
+from repro.ensemble import (
+    CampaignDriver,
+    CampaignOptions,
+    ScenarioDesign,
+    campaign_report,
+    sample_scenarios,
+    write_campaign_json,
+)
+from repro.ensemble.campaign import _MemberRun
+from repro.serve import CollisionSolveService, ServeOptions
+
+SEED = 20260808
+
+
+def make_design(members: int) -> ScenarioDesign:
+    return ScenarioDesign(members=members, seed=SEED, Z_choices=(1.0, 2.0))
+
+
+def make_options(smoke: bool, **overrides) -> CampaignOptions:
+    base = dict(
+        dt=0.5,
+        max_steps=6 if smoke else 12,
+        post_steps=2,
+        order=2,
+        mesh_kwargs={"h_factor": 1.6} if smoke else None,
+        quench_threshold=0.8,
+    )
+    base.update(overrides)
+    return CampaignOptions.from_env(**base)
+
+
+def run_campaign(
+    design: ScenarioDesign,
+    options: CampaignOptions,
+    serve_options: ServeOptions | None = None,
+    scenarios=None,
+):
+    """One timed campaign; returns (results, elapsed_s, driver, serve snapshot)."""
+    service = CollisionSolveService(
+        serve_options or ServeOptions(num_shards=2, max_batch=64)
+    )
+    driver = CampaignDriver(
+        design, options, service=service, scenarios=scenarios
+    )
+    t0 = time.perf_counter()
+    try:
+        results = driver.run()
+        elapsed = time.perf_counter() - t0
+        snapshot = service.snapshot()
+    finally:
+        service.close()
+    return results, elapsed, driver, snapshot
+
+
+def run_resume_probe(design: ScenarioDesign, options_kwargs: dict) -> dict:
+    """Crash a campaign after a few ledgered rounds, resume, report overlap."""
+    with tempfile.TemporaryDirectory(prefix="bench_ensemble_") as ckpt:
+        opts = CampaignOptions(checkpoint_dir=ckpt, **options_kwargs)
+        partial = CampaignDriver(design, opts)
+        for sc in sorted(partial.scenarios, key=lambda s: s.member_key):
+            partial.active[sc.member_key] = _MemberRun(sc, partial)
+        crash_rounds = 3
+        for _ in range(crash_rounds):
+            partial._round()
+        partial.write_ledger()
+        partial.service.close()  # the "SIGKILL"
+
+        resumed = CampaignDriver(design, CampaignOptions(checkpoint_dir=ckpt, **options_kwargs))
+        results = resumed.run(resume=True)
+        return {
+            "crash_rounds": crash_rounds,
+            "resumed_members": resumed.resumed_members,
+            "rerun_overlap": resumed.rerun_overlap,
+            "completed": sum(1 for r in results if r.status == "ok"),
+            "state_sha256": [r.state_sha256 for r in results],
+        }
+
+
+def run_bench(smoke: bool, members: int | None) -> tuple[dict, dict, dict, str]:
+    if members is None:
+        members = 8 if smoke else 32
+    design = make_design(members)
+    options = make_options(smoke)
+    opt_kwargs = dict(
+        dt=options.dt,
+        max_steps=options.max_steps,
+        post_steps=options.post_steps,
+        order=options.order,
+        mesh_kwargs=options.mesh_kwargs,
+        quench_threshold=options.quench_threshold,
+        max_inflight=options.max_inflight,
+    )
+
+    # --- the measured campaign (micro-batched serve tier) ---------------
+    results, batched_s, driver, serve_snap = run_campaign(design, options)
+    assert all(r.status == "ok" for r in results), [
+        r.index for r in results if r.status != "ok"
+    ]
+    hashes = [r.state_sha256 for r in results]
+
+    # --- sequential baseline: same members, no batching, one shard ------
+    _, seq_s, _, _ = run_campaign(
+        design,
+        CampaignOptions(**opt_kwargs),
+        serve_options=ServeOptions(num_shards=1, max_batch=1),
+    )
+
+    # --- determinism: shuffled submission must be bitwise identical -----
+    scenarios = sample_scenarios(design)
+    shuffled = list(reversed(scenarios))
+    shuf_results, _, _, _ = run_campaign(
+        design, CampaignOptions(**opt_kwargs), scenarios=shuffled
+    )
+    shuffled_equal = [r.state_sha256 for r in shuf_results] == hashes
+
+    # --- thread vs process executor (where available) -------------------
+    process_equal = None
+    process_error = ""
+    try:
+        proc_results, _, _, _ = run_campaign(
+            design,
+            CampaignOptions(**opt_kwargs),
+            serve_options=ServeOptions(
+                num_shards=2, max_batch=64, executor="process"
+            ),
+        )
+        process_equal = [r.state_sha256 for r in proc_results] == hashes
+    except Exception as exc:  # pragma: no cover - platform dependent
+        process_error = f"{type(exc).__name__}: {exc}"
+
+    # --- resume correctness ---------------------------------------------
+    resume = run_resume_probe(design, opt_kwargs)
+    resume["matches_uninterrupted"] = resume.pop("state_sha256") == hashes
+
+    stats = driver.statistics(n_boot=400)
+    pc = serve_snap["plan_cache"]
+    extra = {
+        "members": members,
+        "seed": SEED,
+        "mesh": {"ndofs": int(driver.fs.ndofs), "order": options.order},
+        "dt": options.dt,
+        "throughput": {
+            "batched_s": batched_s,
+            "sequential_s": seq_s,
+            "batched_members_per_hour": members / batched_s * 3600.0,
+            "sequential_members_per_hour": members / seq_s * 3600.0,
+            "speedup": seq_s / batched_s,
+        },
+        "plan_cache_hit_rate": pc["hit_rate"],
+        "determinism": {
+            "shuffled_bitwise_equal": shuffled_equal,
+            "process_bitwise_equal": process_equal,
+            "process_error": process_error,
+        },
+        "resume": resume,
+    }
+    report = campaign_report(driver.snapshot(), stats, serve_snap)
+    return driver.snapshot(), stats, {"serve": serve_snap, "extra": extra}, report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke mode: few members, coarse mesh",
+    )
+    ap.add_argument("--members", type=int, default=None)
+    ap.add_argument("--out", default="BENCH_ensemble.json")
+    args = ap.parse_args(argv)
+
+    snapshot, stats, aux, report = run_bench(args.smoke, args.members)
+    write_campaign_json(
+        args.out, snapshot, stats, aux["serve"], extra=aux["extra"]
+    )
+    extra = aux["extra"]
+    print(report)
+    print()
+    th = extra["throughput"]
+    det = extra["determinism"]
+    print(
+        f"batched: {th['batched_members_per_hour']:.0f} members/h   "
+        f"sequential: {th['sequential_members_per_hour']:.0f} members/h   "
+        f"speedup: {th['speedup']:.2f}x   "
+        f"plan-cache hit rate: {extra['plan_cache_hit_rate']:.2f}"
+    )
+    proc = (
+        "n/a" if det["process_bitwise_equal"] is None
+        else str(det["process_bitwise_equal"]).lower()
+    )
+    print(
+        f"shuffled bitwise: {str(det['shuffled_bitwise_equal']).lower()}   "
+        f"process bitwise: {proc}   "
+        f"resume overlap: {extra['resume']['rerun_overlap']}"
+    )
+
+    ok = True
+    if not det["shuffled_bitwise_equal"]:
+        print("FAIL: shuffled-submission campaign diverged (determinism broken)")
+        ok = False
+    if det["process_bitwise_equal"] is False:
+        print("FAIL: process-executor campaign diverged from thread executor")
+        ok = False
+    if extra["resume"]["rerun_overlap"] != 0:
+        print(f"FAIL: resume re-ran {extra['resume']['rerun_overlap']} ledgered jobs")
+        ok = False
+    if not extra["resume"]["matches_uninterrupted"]:
+        print("FAIL: resumed campaign states diverge from uninterrupted run")
+        ok = False
+    if extra["plan_cache_hit_rate"] <= 0.5:
+        print(f"FAIL: plan-cache hit rate {extra['plan_cache_hit_rate']:.2f} <= 0.5")
+        ok = False
+    print("OK" if ok else "BENCH FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Stochastic quench ensembles + UQ over the serve tier.
+
+Samples :class:`~repro.quench.model.QuenchParameters` scenarios
+(Karhunen-Loève Maxwellian perturbations, randomized injection pulses,
+impurity mixes, runaway seeds), drives them through the
+:class:`~repro.serve.service.CollisionSolveService` as a checkpointed,
+fault-tolerant campaign, and reduces the member outputs to
+uncertainty-quantified distributions — the Fig. 5 quantities as
+distributions instead of one canonical trace.
+"""
+
+from .sampling import (
+    GaussianRandomField1D,
+    QuenchScenario,
+    ScenarioDesign,
+    member_seed_sequences,
+    sample_scenarios,
+)
+from .campaign import (
+    CampaignDriver,
+    CampaignOptions,
+    MemberResult,
+    LEDGER_NAME,
+)
+from .statistics import (
+    EnsembleAccumulator,
+    P2Quantile,
+    ScalarReservoir,
+    StreamingMoments,
+    bootstrap_ci,
+    oat_sensitivity,
+)
+from .report import campaign_report, distribution_table, write_campaign_json
+
+__all__ = [
+    "GaussianRandomField1D",
+    "QuenchScenario",
+    "ScenarioDesign",
+    "member_seed_sequences",
+    "sample_scenarios",
+    "CampaignDriver",
+    "CampaignOptions",
+    "MemberResult",
+    "LEDGER_NAME",
+    "StreamingMoments",
+    "P2Quantile",
+    "ScalarReservoir",
+    "EnsembleAccumulator",
+    "bootstrap_ci",
+    "oat_sensitivity",
+    "campaign_report",
+    "distribution_table",
+    "write_campaign_json",
+]

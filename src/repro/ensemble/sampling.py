@@ -1,0 +1,271 @@
+"""Seeded, reproducible quench-scenario sampling.
+
+The ensemble turns the single canonical §IV-C quench into a distribution
+over :class:`~repro.quench.model.QuenchParameters`: Karhunen-Loève
+perturbations of the initial density/temperature Maxwellian parameters,
+randomized cold-plasma injection timing and amplitude, an impurity-charge
+mix drawn from a small discrete set (so members sharing a charge share a
+warm serve plan), and a drifted runaway-electron seed population sized
+against the Connor-Hastie critical-field machinery in
+:mod:`repro.quench.runaway`.
+
+Reproducibility is by construction, not by luck:
+
+* the campaign seed is a ``numpy.random.SeedSequence``; every member gets
+  its **own** spawned child generator, so a member's draws depend only on
+  ``(seed, member index)`` — never on sampling order, executor
+  interleaving, or how many other members exist before it in a batch;
+* Latin-hypercube stratification uses permutations drawn from a separate
+  design-level child, so the LHS design is shared state but still a pure
+  function of the seed;
+* every member carries a stable SHA-256 ``member_key`` over its sampled
+  content — the scenario *is* its own cache/checkpoint key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field, fields as dataclass_fields
+
+import numpy as np
+
+from ..quench.model import QuenchParameters
+
+__all__ = [
+    "GaussianRandomField1D",
+    "QuenchScenario",
+    "ScenarioDesign",
+    "member_seed_sequences",
+    "sample_scenarios",
+]
+
+#: sampled scalar dimensions, in draw order (one LHS column each)
+_SCALAR_DIMS = (
+    "E0_over_Ec",
+    "injection_start",
+    "injection_total",
+    "injection_duration",
+    "cold_temperature",
+    "runaway_seed_fraction",
+)
+
+
+class GaussianRandomField1D:
+    """Truncated Karhunen-Loève expansion of a squared-exponential GRF.
+
+    The covariance ``C(x, y) = exp(-(x - y)^2 / (2 l^2))`` on a uniform
+    grid over ``[0, 1]`` is eigendecomposed once; a realization is
+    ``xi(x) = sum_k sqrt(lambda_k) theta_k phi_k(x)`` with iid standard
+    normal KL coefficients ``theta``.  Members use the mid-domain value
+    of their realization as a smooth, correlated perturbation of the
+    Maxwellian parameters (log-normally applied, so factors stay
+    positive).
+    """
+
+    def __init__(self, modes: int = 4, length: float = 0.3, grid: int = 33):
+        if modes < 1:
+            raise ValueError(f"modes must be >= 1, got {modes}")
+        if not (np.isfinite(length) and length > 0):
+            raise ValueError(f"length must be positive, got {length}")
+        if grid < modes:
+            raise ValueError(f"grid ({grid}) must be >= modes ({modes})")
+        self.x = np.linspace(0.0, 1.0, grid)
+        d = self.x[:, None] - self.x[None, :]
+        C = np.exp(-0.5 * (d / length) ** 2)
+        # trapezoid quadrature weights make the discrete problem a
+        # Nystrom approximation of the continuous eigenproblem
+        w = np.full(grid, 1.0 / (grid - 1))
+        w[0] = w[-1] = 0.5 / (grid - 1)
+        sw = np.sqrt(w)
+        lam, vec = np.linalg.eigh(sw[:, None] * C * sw[None, :])
+        order = np.argsort(lam)[::-1][:modes]
+        self.eigenvalues = np.clip(lam[order], 0.0, None)
+        self.modes_on_grid = vec[:, order] / sw[:, None]
+        self.n_modes = modes
+
+    def realize(self, theta: np.ndarray) -> np.ndarray:
+        """Field values on the grid for KL coefficients ``theta``."""
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.n_modes,):
+            raise ValueError(
+                f"theta must have shape ({self.n_modes},), got {theta.shape}"
+            )
+        return self.modes_on_grid @ (np.sqrt(self.eigenvalues) * theta)
+
+    def midpoint(self, theta: np.ndarray) -> float:
+        """The realization evaluated at the domain center."""
+        return float(self.realize(theta)[len(self.x) // 2])
+
+
+@dataclass(frozen=True)
+class ScenarioDesign:
+    """Sampling configuration: member count, design type, seed, ranges.
+
+    Each scalar range is ``(low, high)`` for a uniform draw; ``Z_choices``
+    is the discrete impurity-charge mix (kept small on purpose — members
+    sharing a charge share a mesh/species signature and therefore a warm
+    serve plan).  ``kl_*`` configure the Karhunen-Loève field behind the
+    log-normal density/temperature factors.
+    """
+
+    members: int = 8
+    design: str = "lhs"  # "lhs" | "mc"
+    seed: int = 0
+    Z_choices: tuple = (1.0, 2.0)
+    E0_over_Ec: tuple = (0.3, 0.7)
+    injection_start: tuple = (0.0, 1.0)
+    injection_total: tuple = (2.0, 8.0)
+    injection_duration: tuple = (6.0, 12.0)
+    cold_temperature: tuple = (0.1, 0.3)
+    runaway_seed_fraction: tuple = (0.0, 0.05)
+    runaway_seed_drift: float = 2.0
+    kl_modes: int = 4
+    kl_length: float = 0.3
+    kl_sigma_density: float = 0.12
+    kl_sigma_temperature: float = 0.08
+
+    def __post_init__(self):
+        if int(self.members) != self.members or self.members < 1:
+            raise ValueError(
+                f"ScenarioDesign.members must be a positive integer, got {self.members}"
+            )
+        if self.design not in ("lhs", "mc"):
+            raise ValueError(
+                f"ScenarioDesign.design must be 'lhs' or 'mc', got {self.design!r}"
+            )
+        if not self.Z_choices or any(z < 1.0 for z in self.Z_choices):
+            raise ValueError(
+                f"ScenarioDesign.Z_choices must be charges >= 1, got {self.Z_choices}"
+            )
+        for name in _SCALAR_DIMS:
+            lo, hi = getattr(self, name)
+            if not (np.isfinite(lo) and np.isfinite(hi) and lo <= hi):
+                raise ValueError(
+                    f"ScenarioDesign.{name} must be a finite (low, high) range, "
+                    f"got {(lo, hi)}"
+                )
+        for name in ("kl_sigma_density", "kl_sigma_temperature"):
+            v = getattr(self, name)
+            if not (np.isfinite(v) and v >= 0):
+                raise ValueError(
+                    f"ScenarioDesign.{name} must be non-negative, got {v}"
+                )
+
+    def to_dict(self) -> dict:
+        out = {}
+        for f in sorted(dataclass_fields(self), key=lambda f: f.name):
+            v = getattr(self, f.name)
+            out[f.name] = list(v) if isinstance(v, tuple) else v
+        return out
+
+    def content_key(self) -> str:
+        """Stable digest of the design — the campaign ledger identity."""
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class QuenchScenario:
+    """One sampled ensemble member.
+
+    ``inputs`` holds the sampled coordinates (the sensitivity-analysis
+    dimensions, including the KL-derived factors); ``member_key`` is a
+    stable content hash — checkpoint ledgers and serve job ids key on it.
+    """
+
+    index: int
+    params: QuenchParameters
+    inputs: dict = field(default_factory=dict)
+    member_key: str = ""
+
+    def __post_init__(self):
+        if not self.member_key:
+            blob = json.dumps(
+                {
+                    "index": self.index,
+                    "params": self.params.to_dict(),
+                    "inputs": {k: float(v) for k, v in sorted(self.inputs.items())},
+                },
+                sort_keys=True,
+            ).encode()
+            object.__setattr__(
+                self, "member_key", hashlib.sha256(blob).hexdigest()
+            )
+
+
+def member_seed_sequences(design: ScenarioDesign):
+    """``(design_child, [member_children])`` spawned from the campaign seed.
+
+    Child 0 belongs to the design (LHS permutations); children
+    ``1..members`` belong to the members, in index order — a member's
+    stream is a pure function of ``(seed, index)``.
+    """
+    children = np.random.SeedSequence(design.seed).spawn(design.members + 1)
+    return children[0], children[1:]
+
+
+def _lhs_permutations(design: ScenarioDesign, design_rng) -> dict[str, np.ndarray]:
+    """One stratum permutation per sampled dimension (fixed dim order)."""
+    perms = {}
+    for name in _SCALAR_DIMS + ("Z",):
+        perms[name] = design_rng.permutation(design.members)
+    return perms
+
+
+def sample_scenarios(design: ScenarioDesign) -> list[QuenchScenario]:
+    """Sample the full member list for a design (deterministic).
+
+    For the ``lhs`` design each scalar dimension is stratified into
+    ``members`` equal-probability bins with the bin assignment drawn from
+    the design stream and the within-bin jitter from the *member's own*
+    stream; ``mc`` draws everything from the member stream.  KL
+    coefficients are member-stream standard normals either way (the
+    factors are marginally log-normal, which stratification would bias).
+    """
+    design_child, member_children = member_seed_sequences(design)
+    design_rng = np.random.default_rng(design_child)
+    perms = _lhs_permutations(design, design_rng) if design.design == "lhs" else None
+    grf = GaussianRandomField1D(modes=design.kl_modes, length=design.kl_length)
+
+    scenarios = []
+    m = design.members
+    for i in range(m):
+        rng = np.random.default_rng(member_children[i])
+        inputs: dict[str, float] = {}
+        # fixed draw order: the scalar dims, then Z, then the KL thetas
+        for name in _SCALAR_DIMS:
+            lo, hi = getattr(design, name)
+            if perms is not None:
+                u = (perms[name][i] + rng.random()) / m
+            else:
+                u = rng.random()
+            inputs[name] = float(lo + (hi - lo) * u)
+        if perms is not None:
+            zi = int(perms["Z"][i] * len(design.Z_choices) // m)
+        else:
+            zi = int(rng.integers(len(design.Z_choices)))
+        inputs["Z"] = float(design.Z_choices[zi])
+        theta_n = rng.standard_normal(design.kl_modes)
+        theta_T = rng.standard_normal(design.kl_modes)
+        inputs["density_factor"] = math.exp(
+            design.kl_sigma_density * grf.midpoint(theta_n)
+        )
+        inputs["temperature_factor"] = math.exp(
+            design.kl_sigma_temperature * grf.midpoint(theta_T)
+        )
+        params = QuenchParameters(
+            Z=inputs["Z"],
+            E0_over_Ec=inputs["E0_over_Ec"],
+            injection_total=inputs["injection_total"],
+            injection_start=inputs["injection_start"],
+            injection_duration=inputs["injection_duration"],
+            cold_temperature=inputs["cold_temperature"],
+            density_factor=inputs["density_factor"],
+            temperature_factor=inputs["temperature_factor"],
+            runaway_seed_fraction=inputs["runaway_seed_fraction"],
+            runaway_seed_drift=design.runaway_seed_drift,
+        )
+        scenarios.append(QuenchScenario(index=i, params=params, inputs=inputs))
+    return scenarios

@@ -6,9 +6,20 @@ driver that produces the Fig. 5 profiles (n_e, J, E, T_e vs time).
 """
 
 from .spitzer import F_Z, spitzer_eta_si, spitzer_eta_code, spitzer_table
-from .runaway import connor_hastie_field_si, connor_hastie_field_code, dreicer_field_si
+from .runaway import (
+    connor_hastie_field_si,
+    connor_hastie_field_code,
+    dreicer_field_si,
+    dreicer_field_code,
+    runaway_critical_velocity_code,
+)
 from .source import ColdPlasmaSource
-from .model import ThermalQuenchModel, QuenchHistory, measure_resistivity
+from .model import (
+    QuenchHistory,
+    QuenchParameters,
+    ThermalQuenchModel,
+    measure_resistivity,
+)
 
 __all__ = [
     "F_Z",
@@ -18,8 +29,11 @@ __all__ = [
     "connor_hastie_field_si",
     "connor_hastie_field_code",
     "dreicer_field_si",
+    "dreicer_field_code",
+    "runaway_critical_velocity_code",
     "ColdPlasmaSource",
     "ThermalQuenchModel",
     "QuenchHistory",
+    "QuenchParameters",
     "measure_resistivity",
 ]

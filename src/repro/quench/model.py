@@ -18,7 +18,7 @@ plus ions under a parallel electric field:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 
 import numpy as np
 
@@ -49,6 +49,186 @@ def _validate_stepping(dt: float, max_steps: int, label: str) -> None:
         raise ValueError(f"{label}: dt must be positive and finite, got {dt}")
     if int(max_steps) != max_steps or max_steps < 1:
         raise ValueError(f"{label}: max_steps must be a positive integer, got {max_steps}")
+
+
+@dataclass(frozen=True)
+class QuenchParameters:
+    """The scenario knobs of the §IV-C quench, lifted out of the driver.
+
+    One frozen dataclass holds everything that distinguishes two quench
+    scenarios on the same mesh: the ion charge, the drive strength, the
+    cold-plasma injection pulse, Maxwellian-parameter perturbations of
+    the initial condition, and a drifted runaway-electron seed
+    population.  Both the single-run :class:`ThermalQuenchModel` and the
+    ensemble sampler (:mod:`repro.ensemble.sampling`) accept it, so a
+    sampled scenario can be replayed through the full Fig.-5 driver
+    unchanged.
+
+    Validation names the offending field — a campaign of hundreds of
+    sampled members must fail with ``QuenchParameters.injection_duration
+    must be positive`` rather than a bare ``ValueError``.
+    """
+
+    #: fully stripped main-ion charge (hydrogenic A ~ 2Z chain)
+    Z: float = 1.0
+    #: initial parallel field in units of the Connor-Hastie critical field
+    E0_over_Ec: float = 0.5
+    #: total injected electron density in units of the initial density
+    injection_total: float = 5.0
+    #: delay of the cold pulse after the quench phase begins (code time)
+    injection_start: float = 0.0
+    #: cold-pulse duration (code time)
+    injection_duration: float = 10.0
+    #: injected-population temperature in units of T0
+    cold_temperature: float = 0.15
+    #: multiplies the initial electron (and quasineutral ion) density
+    density_factor: float = 1.0
+    #: multiplies the initial temperature of every species
+    temperature_factor: float = 1.0
+    #: fraction of the initial electron density seeded as a drifted tail
+    runaway_seed_fraction: float = 0.0
+    #: seed-tail drift in units of the electron thermal velocity
+    runaway_seed_drift: float = 2.0
+
+    def __post_init__(self):
+        rules = (
+            ("Z", self.Z, self.Z >= 1.0, "must be >= 1"),
+            (
+                "E0_over_Ec",
+                self.E0_over_Ec,
+                self.E0_over_Ec >= 0.0,
+                "must be non-negative",
+            ),
+            (
+                "injection_total",
+                self.injection_total,
+                self.injection_total >= 0.0,
+                "must be non-negative",
+            ),
+            (
+                "injection_start",
+                self.injection_start,
+                self.injection_start >= 0.0,
+                "must be non-negative",
+            ),
+            (
+                "injection_duration",
+                self.injection_duration,
+                self.injection_duration > 0.0,
+                "must be positive",
+            ),
+            (
+                "cold_temperature",
+                self.cold_temperature,
+                self.cold_temperature > 0.0,
+                "must be positive",
+            ),
+            (
+                "density_factor",
+                self.density_factor,
+                self.density_factor > 0.0,
+                "must be positive",
+            ),
+            (
+                "temperature_factor",
+                self.temperature_factor,
+                self.temperature_factor > 0.0,
+                "must be positive",
+            ),
+            (
+                "runaway_seed_fraction",
+                self.runaway_seed_fraction,
+                0.0 <= self.runaway_seed_fraction < 1.0,
+                "must be in [0, 1)",
+            ),
+            (
+                "runaway_seed_drift",
+                self.runaway_seed_drift,
+                True,
+                "must be finite",
+            ),
+        )
+        for name, value, ok, requirement in rules:
+            if not (np.isfinite(value) and ok):
+                raise ValueError(
+                    f"QuenchParameters.{name} {requirement}, got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    def species(self) -> SpeciesSet:
+        """Electron + ion(Z) species set with the perturbation factors
+        applied (quasineutral by construction)."""
+        ion = _ion_for_Z(self.Z)
+        ion = Species(
+            ion.name,
+            charge=ion.charge,
+            mass=ion.mass,
+            density=ion.density * self.density_factor,
+            temperature=ion.temperature * self.temperature_factor,
+        )
+        return SpeciesSet(
+            [
+                electron(
+                    density=self.Z * ion.density,
+                    temperature=self.temperature_factor,
+                ),
+                ion,
+            ]
+        )
+
+    def source(self, species: SpeciesSet) -> ColdPlasmaSource:
+        """The scenario's cold-plasma pulse (``t_start`` is anchored by
+        the driver when the quench phase begins)."""
+        return ColdPlasmaSource(
+            species,
+            total_injected=self.injection_total,
+            duration=self.injection_duration,
+            cold_temperature=self.cold_temperature,
+        )
+
+    def initial_fields(self, fs, species: SpeciesSet) -> list[np.ndarray]:
+        """Per-species initial coefficients: Maxwellians at the perturbed
+        parameters, with ``runaway_seed_fraction`` of the electron
+        density moved into a tail drifting at ``runaway_seed_drift``
+        thermal velocities (the seed population the quench accelerates)."""
+        from ..core.maxwellian import shifted_maxwellian_rz
+
+        fields = []
+        for idx, s in enumerate(species):
+            frac = self.runaway_seed_fraction if idx == 0 else 0.0
+            if frac == 0.0:
+                fields.append(fs.interpolate(species_maxwellian(s)))
+                continue
+            vth, n = s.thermal_velocity, s.density
+            drift = self.runaway_seed_drift * vth
+
+            def f(r, z):
+                bulk = shifted_maxwellian_rz(r, z, (1.0 - frac) * n, vth)
+                tail = shifted_maxwellian_rz(r, z, frac * n, vth, drift)
+                return bulk + tail
+
+            fields.append(fs.interpolate(f))
+        return fields
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able image (stable field order; content-hash input)."""
+        return {
+            f.name: float(getattr(self, f.name))
+            for f in sorted(dataclass_fields(self), key=lambda f: f.name)
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuenchParameters":
+        return cls(**{k: float(v) for k, v in data.items()})
+
+    def content_key(self) -> str:
+        """Stable content hash — the scenario's cache/checkpoint identity."""
+        import hashlib
+        import json
+
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
 
 
 @dataclass
@@ -209,14 +389,18 @@ class ThermalQuenchModel:
         guard: StepGuard | GuardConfig | bool = True,
         dt_min: float | None = None,
         assembly_options: "AssemblyOptions | None" = None,
+        params: QuenchParameters | None = None,
     ):
         _validate_stepping(dt, 1, "ThermalQuenchModel")
-        if not (np.isfinite(Z) and Z >= 1.0):
-            raise ValueError(f"ThermalQuenchModel: Z must be >= 1, got {Z}")
-        if not (np.isfinite(E0_over_Ec) and E0_over_Ec >= 0):
-            raise ValueError(
-                f"ThermalQuenchModel: E0_over_Ec must be non-negative, got {E0_over_Ec}"
+        if params is None:
+            # legacy knob path: Z / E0_over_Ec kwargs become the scenario
+            params = QuenchParameters(Z=Z, E0_over_Ec=E0_over_Ec)
+        elif not isinstance(params, QuenchParameters):
+            raise TypeError(
+                f"ThermalQuenchModel: params must be QuenchParameters, got {type(params).__name__}"
             )
+        else:
+            Z, E0_over_Ec = params.Z, params.E0_over_Ec
         if not (np.isfinite(settle_tol) and settle_tol > 0):
             raise ValueError(
                 f"ThermalQuenchModel: settle_tol must be positive, got {settle_tol}"
@@ -224,9 +408,9 @@ class ThermalQuenchModel:
         if int(order) != order or order < 1:
             raise ValueError(f"ThermalQuenchModel: order must be >= 1, got {order}")
         self.units = units
-        ion = _ion_for_Z(Z)
-        self.species = SpeciesSet([electron(density=Z * ion.density), ion])
-        self.source = source or ColdPlasmaSource(self.species)
+        self.params = params
+        self.species = params.species()
+        self.source = source or params.source(self.species)
         # the mesh must resolve the *cold injected* electron population as
         # well as the initial Maxwellians, or the collapsed post-quench bulk
         # develops Gibbs oscillations (negative lobes -> unphysical J).
@@ -276,6 +460,7 @@ class ThermalQuenchModel:
             "Z": float(self.Z),
             "dt": float(self.dt),
             "order": self.order,
+            "params": self.params.content_key(),
         }
 
     def _advance_macro(self, fields, t, efield, sources=None):
@@ -316,9 +501,7 @@ class ThermalQuenchModel:
         if post_steps < 0:
             raise ValueError(f"run: post_steps must be >= 0, got {post_steps}")
         hist = QuenchHistory()
-        fields = [
-            self.fs.interpolate(species_maxwellian(s)) for s in self.species
-        ]
+        fields = self.params.initial_fields(self.fs, self.species)
         s = self.moments.summary(fields)
         hist.record(0.0, s["n_e"], s["J_z"], self.E0, s["T_e"], "ramp")
         state = {
@@ -451,7 +634,7 @@ class ThermalQuenchModel:
                 k = ramp_steps if settled else k + 1
                 if after_step("ramp", k):
                     return hist
-            self.source.t_start = t
+            self.source.t_start = t + self.params.injection_start
             state = {**state, "stage": "quench", "k": 0}
 
         # --- phases 2+3: E <- eta_Spitzer(T_e) J, with the cold pulse --------

@@ -63,3 +63,36 @@ def connor_hastie_field_code(
     return units.efield_to_code(
         connor_hastie_field_si(n_e_code * units.n0, units.coulomb_log)
     )
+
+
+def dreicer_field_code(
+    units: UnitSystem, n_e_code: float = 1.0, Te_over_T0: float = 1.0
+) -> float:
+    """E_D in code field units for a density in units of n0 and an
+    electron temperature in units of T0."""
+    return units.efield_to_code(
+        dreicer_field_si(
+            n_e_code * units.n0, Te_over_T0 * units.T0_ev, units.coulomb_log
+        )
+    )
+
+
+def runaway_critical_velocity_code(
+    units: UnitSystem,
+    E_code: float,
+    n_e_code: float = 1.0,
+    Te_over_T0: float = 1.0,
+) -> float:
+    """Runaway-region boundary ``v_c`` in code (v0) units.
+
+    Collisional drag on an electron at speed ``v`` falls off as ``1/v^2``;
+    it balances the applied field at ``v_c / v_te = sqrt(E_D / E)``, so
+    electrons faster than ``v_c`` run away.  Returns ``inf`` for a
+    vanishing (or sub-zero) field — nothing runs away without drive.
+    """
+    if not (E_code > 0.0):
+        return float("inf")
+    E_D = dreicer_field_code(units, n_e_code, Te_over_T0)
+    # v_te = sqrt(2 k T_e / m_e): the electron thermal speed in v0 units
+    v_te = math.sqrt(math.pi) / 2.0 * math.sqrt(Te_over_T0)
+    return v_te * math.sqrt(E_D / E_code)

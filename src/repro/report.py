@@ -151,13 +151,20 @@ def resilience_summary(stats, max_events: int = 12) -> str:
     return "\n".join(lines)
 
 
-def serve_summary(snapshot: dict) -> str:
+def serve_summary(snapshot: dict, campaign: dict | None = None) -> str:
     """Operator-facing rollup of a :class:`CollisionSolveService` snapshot.
 
     Renders the service sizing, job outcomes, the micro-batcher's
     batch-size histogram (is coalescing happening?), the operator-plan
     cache counters (are pair tables/band symbolics staying warm?) and a
     per-shard table with queue depth and latency percentiles.
+
+    ``campaign`` accepts an ensemble campaign snapshot
+    (:meth:`repro.ensemble.campaign.CampaignDriver.snapshot`): member
+    completed/failed/resumed counts and campaign-job outcomes — plus the
+    breaker trips and shed counts the service recorded while the
+    campaign ran — are rolled into the same report instead of a separate
+    print path.
     """
     opt = snapshot["options"]
     jobs = snapshot["jobs"]
@@ -193,6 +200,60 @@ def serve_summary(snapshot: dict) -> str:
             title="jobs",
         ),
     ]
+    if campaign is not None:
+        m = campaign.get("members", {})
+        lines += [
+            "",
+            format_table(
+                [
+                    "members",
+                    "completed",
+                    "failed",
+                    "resumed",
+                    "pending",
+                    "retried jobs",
+                    "shed jobs",
+                    "breaker trips",
+                ],
+                [
+                    [
+                        m.get("total", 0),
+                        m.get("completed", 0),
+                        m.get("failed", 0),
+                        m.get("resumed", 0),
+                        m.get("pending", 0),
+                        jobs["retried"],
+                        jobs["shed"],
+                        snapshot.get("failures", {}).get("breaker_trips", 0),
+                    ]
+                ],
+                title=f"ensemble campaign: {campaign.get('name', '?')}",
+            ),
+        ]
+    by_tag = jobs.get("by_tag") or {}
+    if by_tag:
+        shown = sorted(
+            by_tag.items(), key=lambda kv: -sum(kv[1].values())
+        )[:10]
+        rows = [
+            [
+                tag,
+                c.get("ok", 0),
+                c.get("failed", 0),
+                c.get("shed", 0),
+                c.get("retried", 0),
+            ]
+            for tag, c in shown
+        ]
+        title = "jobs by tag" + (
+            f" (top {len(shown)} of {len(by_tag)})"
+            if len(by_tag) > len(shown)
+            else ""
+        )
+        lines += [
+            "",
+            format_table(["tag", "ok", "failed", "shed", "retried"], rows, title=title),
+        ]
     if snapshot["batch_size_hist"]:
         rows = [
             [size, count]

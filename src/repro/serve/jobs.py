@@ -38,6 +38,9 @@ class SolveJob:
     job_id: str = ""
     deadline: float | None = None  # absolute time.monotonic() seconds
     submitted: float = field(default_factory=time.monotonic)
+    #: caller-defined grouping label (e.g. an ensemble campaign/member id);
+    #: never shipped to workers — accounted parent-side per outcome.
+    tag: str = ""
 
     def __post_init__(self):
         self.state = np.asarray(self.state, dtype=float)

@@ -273,6 +273,10 @@ class CollisionSolveService:
         #: per shard: jobs popped from the queue but not yet answered
         self._inflight: list[list] = [[] for _ in range(n)]
         self._resume: dict | None = None
+        #: per job tag: outcome counters (campaign-aware accounting);
+        #: guarded by _tag_lock — _execute runs on every dispatcher thread
+        self._tag_lock = threading.Lock()
+        self._tag_counts: dict[str, dict[str, int]] = {}
         if self.options.executor == "process":
             self._supervisors = [
                 ShardSupervisor(self.options.supervision) for _ in range(n)
@@ -345,13 +349,20 @@ class CollisionSolveService:
         *,
         deadline_ms: float | None = None,
         job_id: str = "",
+        tag: str = "",
     ) -> JobHandle:
         """Admit one job; raises :class:`ServiceOverloaded` if the target
-        shard's queue is full (callers should back off and retry)."""
+        shard's queue is full (callers should back off and retry).
+
+        ``tag`` is a caller-defined grouping label (an ensemble campaign
+        or member id): per-tag outcome counters appear in
+        ``snapshot()["jobs"]["by_tag"]``."""
         if deadline_ms is None:
-            job = SolveJob(plan=plan, state=state, job_id=job_id)
+            job = SolveJob(plan=plan, state=state, job_id=job_id, tag=tag)
         else:
-            job = SolveJob.with_deadline_ms(plan, state, deadline_ms, job_id=job_id)
+            job = SolveJob.with_deadline_ms(
+                plan, state, deadline_ms, job_id=job_id, tag=tag
+            )
         shard = self.ring.route(plan.key)
         handle = JobHandle(job)
         cond = self._conds[shard]
@@ -413,6 +424,7 @@ class CollisionSolveService:
     def _execute(self, shard: int, batch: list[tuple]) -> None:
         jobs = [job for job, _ in batch]
         handles = {job.job_id: handle for job, handle in batch}
+        tags = {job.job_id: job.tag for job in jobs}
         self._inflight[shard] = list(jobs)
         try:
             if self._pools is not None:
@@ -426,9 +438,23 @@ class CollisionSolveService:
             for job_id, res in results:
                 handles[job_id].set_result(res)
                 self._completed_ids.append(job_id)
+                self._count_tag(tags.get(job_id, ""), res)
         finally:
             self._inflight[shard] = []
         self._maybe_checkpoint()
+
+    def _count_tag(self, tag: str, res: JobResult) -> None:
+        """Parent-side per-tag outcome accounting (tags never ship to
+        workers, so the process protocol is unchanged)."""
+        if not tag:
+            return
+        with self._tag_lock:
+            c = self._tag_counts.setdefault(
+                tag, {"ok": 0, "failed": 0, "shed": 0, "retried": 0}
+            )
+            c[res.status] = c.get(res.status, 0) + 1
+            if res.retried:
+                c["retried"] += 1
 
     # ------------------------------------------------------------------
     # process-executor dispatch: publish-once plans, shm state shipping,
@@ -966,6 +992,10 @@ class CollisionSolveService:
                 "worker_restarts": sum(
                     s.get("worker_restarts", 0) for s in shards
                 ),
+                "by_tag": {
+                    tag: dict(c)
+                    for tag, c in sorted(self._tag_counts.items())
+                },
             },
             "failures": {
                 "injected_faults": sum(

@@ -32,6 +32,7 @@ class TestExamplesImportable:
             "gpu_roofline",
             "performance_tables",
             "export_vtk",
+            "ensemble_quench",
         ],
     )
     def test_import(self, name):

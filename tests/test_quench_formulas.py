@@ -1,0 +1,261 @@
+"""Hand-checked coverage for the quench-layer formulas the UQ reductions
+lean on: Connor-Hastie / Dreicer critical fields, the runaway boundary,
+Spitzer F(Z) limits, and the QuenchParameters scenario dataclass."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quench import (
+    ColdPlasmaSource,
+    F_Z,
+    QuenchParameters,
+    ThermalQuenchModel,
+    connor_hastie_field_code,
+    connor_hastie_field_si,
+    dreicer_field_code,
+    dreicer_field_si,
+    runaway_critical_velocity_code,
+    spitzer_eta_code,
+    spitzer_eta_si,
+)
+from repro.units import DEFAULT_UNITS as U
+
+
+class TestCriticalFields:
+    def test_connor_hastie_hand_checked_si(self):
+        # E_c = n e^3 lnL / (4 pi eps0^2 m_e c^2) evaluated by hand from
+        # CODATA constants at n = 1e20 m^-3, lnL = 10
+        assert connor_hastie_field_si(1.0e20, 10.0) == pytest.approx(
+            0.05099099140550, rel=1e-10
+        )
+
+    def test_dreicer_hand_checked_si(self):
+        # E_D = n e^3 lnL / (4 pi eps0^2 k T) at n = 1e20, T_e = 1 keV
+        assert dreicer_field_si(1.0e20, 1000.0, 10.0) == pytest.approx(
+            26.05634306747, rel=1e-10
+        )
+
+    def test_dreicer_over_connor_hastie_is_mc2_over_kT(self):
+        # the two fields differ exactly by (c / v_te)^2-like factor
+        # m_e c^2 / k T_e; at 1 keV that is ~511
+        ratio = dreicer_field_si(1e20, 1000.0) / connor_hastie_field_si(1e20)
+        assert ratio == pytest.approx(510.99895, rel=1e-5)
+
+    def test_linearity_in_density_and_coulomb_log(self):
+        assert connor_hastie_field_si(2e20, 10.0) == pytest.approx(
+            2.0 * connor_hastie_field_si(1e20, 10.0), rel=1e-14
+        )
+        assert dreicer_field_si(1e20, 500.0, 20.0) == pytest.approx(
+            2.0 * dreicer_field_si(1e20, 500.0, 10.0), rel=1e-14
+        )
+        # Dreicer falls as 1/T
+        assert dreicer_field_si(1e20, 2000.0) == pytest.approx(
+            0.5 * dreicer_field_si(1e20, 1000.0), rel=1e-14
+        )
+
+    def test_input_guards(self):
+        with pytest.raises(ValueError):
+            connor_hastie_field_si(0.0)
+        with pytest.raises(ValueError):
+            connor_hastie_field_si(-1e20)
+        with pytest.raises(ValueError):
+            dreicer_field_si(1e20, 0.0)
+        with pytest.raises(ValueError):
+            dreicer_field_si(1e20, -5.0)
+
+    def test_code_unit_round_trip(self):
+        # code-unit helpers are exactly efield_to_code of the SI values
+        assert connor_hastie_field_code(U, 1.0) == pytest.approx(
+            U.efield_to_code(connor_hastie_field_si(U.n0, U.coulomb_log)),
+            rel=1e-14,
+        )
+        assert dreicer_field_code(U, 1.0, 1.0) == pytest.approx(
+            U.efield_to_code(
+                dreicer_field_si(U.n0, U.T0_ev, U.coulomb_log)
+            ),
+            rel=1e-14,
+        )
+        # the ratio survives the unit conversion (both are fields)
+        assert dreicer_field_code(U) / connor_hastie_field_code(U) == (
+            pytest.approx(510.99895, rel=1e-5)
+        )
+
+
+class TestRunawayBoundary:
+    def test_no_field_no_runaways(self):
+        assert runaway_critical_velocity_code(U, 0.0) == float("inf")
+        assert runaway_critical_velocity_code(U, -1.0) == float("inf")
+
+    def test_dreicer_field_puts_vc_at_vte(self):
+        # drag balances the field at v_c/v_te = sqrt(E_D/E); at E = E_D
+        # the boundary reaches the thermal bulk
+        E_D = dreicer_field_code(U)
+        v_te = math.sqrt(math.pi) / 2.0
+        assert runaway_critical_velocity_code(U, E_D) == pytest.approx(
+            v_te, rel=1e-12
+        )
+
+    def test_inverse_sqrt_field_scaling(self):
+        E = 0.25 * dreicer_field_code(U)
+        assert runaway_critical_velocity_code(U, E) == pytest.approx(
+            2.0 * runaway_critical_velocity_code(U, 4.0 * E), rel=1e-12
+        )
+
+    def test_temperature_scaling(self):
+        # v_c = v_te sqrt(E_D/E) with E_D ~ 1/T and v_te ~ sqrt(T): the
+        # two cancel, so v_c is temperature-independent at fixed E
+        E = 0.1 * dreicer_field_code(U)
+        a = runaway_critical_velocity_code(U, E, Te_over_T0=1.0)
+        b = runaway_critical_velocity_code(U, E, Te_over_T0=4.0)
+        assert a == pytest.approx(b, rel=1e-12)
+
+
+class TestSpitzer:
+    def test_F_Z_hand_checked(self):
+        # F(1) = (1 + 1.198 + 0.222) / (1 + 2.966 + 0.753) = 2.420/4.719
+        assert F_Z(1.0) == pytest.approx(2.420 / 4.719, rel=1e-12)
+
+    def test_F_Z_lorentz_limit(self):
+        # Z -> infinity: F -> 0.222/0.753 (the Lorentz-gas limit)
+        assert F_Z(1e9) == pytest.approx(0.222 / 0.753, rel=1e-6)
+
+    def test_F_Z_monotone_decreasing(self):
+        zs = [1.0, 2.0, 4.0, 8.0, 16.0, 64.0]
+        vals = [F_Z(z) for z in zs]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_F_Z_guard(self):
+        with pytest.raises(ValueError):
+            F_Z(0.0)
+        with pytest.raises(ValueError):
+            F_Z(-1.0)
+
+    def test_eta_temperature_scaling(self):
+        # eta ~ T_e^(-3/2)
+        assert spitzer_eta_si(250.0, 1.0) == pytest.approx(
+            8.0 * spitzer_eta_si(1000.0, 1.0), rel=1e-12
+        )
+
+    def test_eta_Te_to_zero_guard(self):
+        with pytest.raises(ValueError):
+            spitzer_eta_si(0.0, 1.0)
+        with pytest.raises(ValueError):
+            spitzer_eta_si(-100.0, 1.0)
+        with pytest.raises(ValueError):
+            spitzer_eta_code(U, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            spitzer_eta_code(U, -0.5, 1.0)
+
+    def test_eta_code_unit_round_trip(self):
+        eta_si = spitzer_eta_si(U.T0_ev, 2.0, U.coulomb_log)
+        assert spitzer_eta_code(U, 1.0, 2.0) == pytest.approx(
+            U.resistivity_to_code(eta_si), rel=1e-14
+        )
+
+    def test_eta_Z_dependence_increasing(self):
+        # Z F(Z) grows with Z: higher charge means higher resistivity
+        etas = [spitzer_eta_si(1000.0, z) for z in (1.0, 2.0, 8.0, 32.0)]
+        assert all(a < b for a, b in zip(etas, etas[1:]))
+
+
+class TestQuenchParameters:
+    def test_defaults_valid(self):
+        QuenchParameters()
+
+    @pytest.mark.parametrize(
+        "kwargs,needle",
+        [
+            (dict(Z=0.5), "QuenchParameters.Z"),
+            (dict(Z=float("nan")), "QuenchParameters.Z"),
+            (dict(E0_over_Ec=-0.1), "QuenchParameters.E0_over_Ec"),
+            (dict(injection_total=-1.0), "QuenchParameters.injection_total"),
+            (dict(injection_start=-0.5), "QuenchParameters.injection_start"),
+            (dict(injection_duration=0.0), "QuenchParameters.injection_duration"),
+            (dict(cold_temperature=0.0), "QuenchParameters.cold_temperature"),
+            (dict(density_factor=0.0), "QuenchParameters.density_factor"),
+            (dict(temperature_factor=-1.0), "QuenchParameters.temperature_factor"),
+            (dict(runaway_seed_fraction=1.0), "QuenchParameters.runaway_seed_fraction"),
+            (dict(runaway_seed_fraction=-0.1), "QuenchParameters.runaway_seed_fraction"),
+            (dict(runaway_seed_drift=float("inf")), "QuenchParameters.runaway_seed_drift"),
+        ],
+    )
+    def test_validation_names_offending_field(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle.replace(".", r"\.")):
+            QuenchParameters(**kwargs)
+
+    def test_round_trip_and_content_key(self):
+        p = QuenchParameters(Z=2.0, injection_total=3.0, density_factor=1.1)
+        q = QuenchParameters.from_dict(p.to_dict())
+        assert p == q
+        assert p.content_key() == q.content_key()
+        assert p.content_key() != QuenchParameters().content_key()
+
+    def test_species_quasineutral_with_factors(self):
+        p = QuenchParameters(Z=2.0, density_factor=1.3, temperature_factor=0.8)
+        spc = p.species()
+        e, ion = spc[0], spc[1]
+        assert e.charge == -1.0 and ion.charge == 2.0
+        assert e.density == pytest.approx(ion.charge * ion.density)
+        assert e.density == pytest.approx(1.3)
+        assert e.temperature == pytest.approx(0.8)
+        assert ion.temperature == pytest.approx(0.8)
+
+    def test_source_carries_pulse_knobs(self):
+        p = QuenchParameters(
+            injection_total=3.5, injection_duration=7.0, cold_temperature=0.2
+        )
+        src = p.source(p.species())
+        assert isinstance(src, ColdPlasmaSource)
+        assert src.total_injected == 3.5
+        assert src.duration == 7.0
+        assert src.cold_temperature == 0.2
+
+    def test_seed_tail_conserves_density(self, fs_q2):
+        from repro.core.moments import Moments
+
+        p0 = QuenchParameters()
+        p1 = QuenchParameters(runaway_seed_fraction=0.05, runaway_seed_drift=1.5)
+        spc = p1.species()
+        mom = Moments(fs_q2, spc)
+        f0 = p0.initial_fields(fs_q2, p0.species())[0]
+        f1 = p1.initial_fields(fs_q2, spc)[0]
+        n0 = mom.species_moments(0, f0).density
+        n1 = mom.species_moments(0, f1).density
+        # moving 5% of the density into a drifted tail must not change n
+        assert n1 == pytest.approx(n0, rel=5e-3)
+        # but it must carry momentum
+        assert mom.species_moments(0, f1).momentum_z > (
+            mom.species_moments(0, f0).momentum_z + 1e-4
+        )
+
+    def test_seed_free_fields_match_legacy_bitwise(self, fs_q2):
+        from repro.core.maxwellian import species_maxwellian
+
+        p = QuenchParameters(Z=2.0, temperature_factor=1.1)
+        spc = p.species()
+        fields = p.initial_fields(fs_q2, spc)
+        legacy = [fs_q2.interpolate(species_maxwellian(s)) for s in spc]
+        for a, b in zip(fields, legacy):
+            assert np.array_equal(a, b)
+
+    def test_model_accepts_params(self):
+        p = QuenchParameters(Z=2.0, E0_over_Ec=0.4)
+        m = ThermalQuenchModel(
+            params=p, order=2, mesh_kwargs={"h_factor": 1.6}
+        )
+        assert m.Z == 2.0
+        assert m.params is p
+        assert m.E0 == pytest.approx(0.4 * m.E_c)
+        assert "params" in m._fingerprint()
+
+    def test_model_rejects_wrong_params_type(self):
+        with pytest.raises(TypeError, match="QuenchParameters"):
+            ThermalQuenchModel(params={"Z": 2.0})
+
+    def test_model_legacy_kwargs_build_equivalent_params(self):
+        m = ThermalQuenchModel(
+            Z=2.0, E0_over_Ec=0.4, order=2, mesh_kwargs={"h_factor": 1.6}
+        )
+        assert m.params == QuenchParameters(Z=2.0, E0_over_Ec=0.4)
